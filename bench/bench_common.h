@@ -1,0 +1,73 @@
+// Shared setup for the experiment harnesses (bench_r*): the reference
+// evaluation platform, workload factories, and table printing.
+//
+// Every harness prints a self-describing CSV block to stdout so EXPERIMENTS.md
+// and downstream plotting scripts can consume the rows directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/simulation.h"
+#include "platform/cluster.h"
+#include "workload/generator.h"
+
+namespace elastisim::bench {
+
+/// The reference cluster used across experiments: 128 nodes, 48 x 2 GF cores,
+/// 12.5 GB/s injection links, fat-tree pods of 16 with 100 GB/s uplinks, and
+/// a 120/80 GB/s PFS.
+inline platform::ClusterConfig reference_platform(std::size_t nodes = 128) {
+  platform::ClusterConfig config;
+  config.topology = platform::TopologyKind::kFatTree;
+  config.node_count = nodes;
+  config.cores_per_node = 48;
+  config.flops_per_core = 2e9;
+  config.link_bandwidth = 12.5e9;
+  config.pod_size = 16;
+  config.pod_bandwidth = 100e9;
+  config.pfs.read_bandwidth = 120e9;
+  config.pfs.write_bandwidth = 80e9;
+  return config;
+}
+
+/// The reference workload: 200 jobs, 1-64 node power-of-two sizes, iterative
+/// compute + allreduce applications, 30% with I/O phases. `malleable_fraction`
+/// is the evaluation's main axis.
+inline workload::GeneratorConfig reference_workload(double malleable_fraction,
+                                                    std::size_t jobs = 200,
+                                                    std::uint64_t seed = 42) {
+  workload::GeneratorConfig config;
+  config.job_count = jobs;
+  config.seed = seed;
+  config.mean_interarrival = 45.0;
+  config.min_nodes = 1;
+  config.max_nodes = 64;
+  config.malleable_fraction = malleable_fraction;
+  config.mean_iteration_compute = 60.0;
+  config.flops_per_node = 48.0 * 2e9;
+  config.comm_bytes = 64.0 * 1024 * 1024;
+  config.io_fraction = 0.3;
+  config.io_bytes = 4.0 * 1024 * 1024 * 1024;
+  config.state_bytes_per_node = 256.0 * 1024 * 1024;
+  return config;
+}
+
+inline core::SimulationResult run(const platform::ClusterConfig& platform,
+                                  const std::string& scheduler,
+                                  std::vector<workload::Job> jobs,
+                                  core::BatchConfig batch = {}) {
+  core::SimulationConfig config;
+  config.platform = platform;
+  config.scheduler = scheduler;
+  config.batch = batch;
+  return core::run_simulation(config, std::move(jobs));
+}
+
+/// Prints "# <title>" followed by a CSV header — the harness convention.
+inline void table_header(const std::string& title, const std::string& columns) {
+  std::printf("# %s\n%s\n", title.c_str(), columns.c_str());
+}
+
+}  // namespace elastisim::bench

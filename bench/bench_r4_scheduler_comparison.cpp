@@ -1,0 +1,42 @@
+// R4 — Scheduling-algorithm comparison: all six algorithms on three workload
+// mixes (rigid-heavy, balanced, malleable-heavy). Expected shape: EASY and
+// conservative dominate FCFS on rigid mixes; the malleable-aware policies
+// dominate everything once a substantial share of jobs can resize;
+// equal-share is competitive only at high malleability.
+#include "bench_common.h"
+
+using namespace elastisim;
+
+int main() {
+  const auto platform = bench::reference_platform();
+
+  struct Mix {
+    const char* name;
+    double malleable;
+    double moldable;
+    double evolving;
+  };
+  const Mix mixes[] = {
+      {"rigid-heavy", 0.1, 0.1, 0.0},
+      {"balanced", 0.4, 0.2, 0.1},
+      {"malleable-heavy", 0.8, 0.1, 0.1},
+  };
+
+  bench::table_header("R4 scheduler comparison (128 nodes, 200 jobs)",
+                      "mix,scheduler,makespan_s,mean_wait_s,mean_bounded_slowdown,"
+                      "avg_utilization,expansions,shrinks,killed");
+  for (const Mix& mix : mixes) {
+    auto generator = bench::reference_workload(mix.malleable);
+    generator.moldable_fraction = mix.moldable;
+    generator.evolving_fraction = mix.evolving;
+    for (const std::string& scheduler : core::scheduler_names()) {
+      auto result = bench::run(platform, scheduler, workload::generate_workload(generator));
+      const stats::Recorder& recorder = result.recorder;
+      std::printf("%s,%s,%.0f,%.1f,%.2f,%.4f,%d,%d,%zu\n", mix.name, scheduler.c_str(),
+                  result.makespan, recorder.mean_wait(), recorder.mean_bounded_slowdown(),
+                  recorder.average_utilization(), recorder.total_expansions(),
+                  recorder.total_shrinks(), result.killed);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,110 @@
+// R5 — I/O interference on the shared PFS: a compute job that periodically
+// writes checkpoints co-runs with jobs streaming large output files. Both
+// job classes have their own nodes (no CPU contention); every slowdown is
+// PFS write-bandwidth interference.
+//
+// Expected shape (cf. the I/O-interference line of work from the same group):
+// tiny checkpoints barely suffer — the writers do; as checkpoints grow, the
+// interference flips onto the checkpointing application, up to multi-x
+// slowdowns.
+#include "bench_common.h"
+
+using namespace elastisim;
+
+namespace {
+
+workload::Job checkpoint_job(workload::JobId id, int nodes, double compute_seconds,
+                             double checkpoint_bytes, int iterations,
+                             double flops_per_node) {
+  workload::Job job;
+  job.id = id;
+  job.name = "checkpointer";
+  job.requested_nodes = job.min_nodes = job.max_nodes = nodes;
+  workload::Phase loop;
+  loop.name = "compute+checkpoint";
+  loop.iterations = iterations;
+  loop.groups.push_back({workload::Task{
+      "compute", workload::ComputeTask{compute_seconds * flops_per_node * nodes,
+                                       workload::ScalingModel::kStrong, 0.0}}});
+  loop.groups.push_back({workload::Task{
+      "checkpoint",
+      workload::IoTask{true, checkpoint_bytes, workload::ScalingModel::kStrong,
+                       workload::IoTarget::kPfs}}});
+  job.application.phases.push_back(std::move(loop));
+  return job;
+}
+
+workload::Job writer_job(workload::JobId id, int nodes, double bytes_per_burst,
+                         int iterations) {
+  workload::Job job;
+  job.id = id;
+  job.name = "writer";
+  job.requested_nodes = job.min_nodes = job.max_nodes = nodes;
+  workload::Phase loop;
+  loop.name = "stream-output";
+  loop.iterations = iterations;
+  loop.groups.push_back({workload::Task{
+      "write", workload::IoTask{true, bytes_per_burst, workload::ScalingModel::kStrong,
+                                workload::IoTarget::kPfs}}});
+  job.application.phases.push_back(std::move(loop));
+  return job;
+}
+
+double runtime_of(const stats::Recorder& recorder, workload::JobId id) {
+  for (const auto& record : recorder.records()) {
+    if (record.id == id) return record.runtime();
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main() {
+  auto platform = bench::reference_platform(64);
+  // Tighten the PFS so interference is visible against 12.5 GB/s links:
+  // 16 writer nodes alone can saturate 40 GB/s.
+  platform.pfs.write_bandwidth = 40e9;
+  const double flops_per_node = platform.cores_per_node * platform.flops_per_core;
+
+  constexpr int kCheckpointNodes = 16;
+  constexpr int kWriterNodes = 16;
+  constexpr int kIterations = 20;
+  constexpr double kComputeSeconds = 10.0;
+  const double writer_burst = 64.0 * 1024 * 1024 * 1024;  // 64 GiB per burst
+
+  // Solo baselines.
+  auto solo_ckpt = [&](double checkpoint_bytes) {
+    std::vector<workload::Job> jobs;
+    jobs.push_back(checkpoint_job(1, kCheckpointNodes, kComputeSeconds, checkpoint_bytes,
+                                  kIterations, flops_per_node));
+    return bench::run(platform, "fcfs", std::move(jobs));
+  };
+  std::vector<workload::Job> solo_writer_jobs;
+  solo_writer_jobs.push_back(writer_job(2, kWriterNodes, writer_burst, kIterations));
+  const double writer_alone =
+      runtime_of(bench::run(platform, "fcfs", std::move(solo_writer_jobs)).recorder, 2);
+
+  bench::table_header(
+      "R5 PFS write interference (checkpointer 16 nodes vs 2 writers x 16 nodes, "
+      "40 GB/s PFS)",
+      "checkpoint_bytes,ckpt_alone_s,ckpt_shared_s,ckpt_slowdown,writer_alone_s,"
+      "writer_shared_s,writer_slowdown");
+  for (const double mib : {64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0}) {
+    const double checkpoint_bytes = mib * 1024 * 1024;
+    const double ckpt_alone = runtime_of(solo_ckpt(checkpoint_bytes).recorder, 1);
+
+    std::vector<workload::Job> shared;
+    shared.push_back(checkpoint_job(1, kCheckpointNodes, kComputeSeconds, checkpoint_bytes,
+                                    kIterations, flops_per_node));
+    shared.push_back(writer_job(2, kWriterNodes, writer_burst, kIterations));
+    shared.push_back(writer_job(3, kWriterNodes, writer_burst, kIterations));
+    auto result = bench::run(platform, "fcfs", std::move(shared));
+    const double ckpt_shared = runtime_of(result.recorder, 1);
+    const double writer_shared = runtime_of(result.recorder, 2);
+
+    std::printf("%.0f,%.1f,%.1f,%.3f,%.1f,%.1f,%.3f\n", checkpoint_bytes, ckpt_alone,
+                ckpt_shared, ckpt_shared / ckpt_alone, writer_alone, writer_shared,
+                writer_shared / writer_alone);
+  }
+  return 0;
+}

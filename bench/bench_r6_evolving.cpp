@@ -1,0 +1,36 @@
+// R6 — Evolving jobs under load: grant rate of application-initiated resize
+// requests and turnaround as cluster pressure rises (arrival rate sweep).
+// Expected shape: at low load nearly every grow request is granted; as load
+// rises the free-node pool dries up and the grant rate collapses while
+// shrink requests keep succeeding.
+#include "bench_common.h"
+
+using namespace elastisim;
+
+int main() {
+  const auto platform = bench::reference_platform();
+
+  bench::table_header(
+      "R6 evolving requests vs load (30% evolving jobs, 128 nodes, 200 jobs)",
+      "mean_interarrival_s,scheduler,requests,granted,grant_rate,mean_turnaround_s,"
+      "expansions,shrinks");
+  for (const double interarrival : {240.0, 120.0, 60.0, 30.0, 15.0}) {
+    auto generator = bench::reference_workload(/*malleable_fraction=*/0.0);
+    generator.evolving_fraction = 0.3;
+    generator.evolving_phase_fraction = 0.5;
+    generator.mean_interarrival = interarrival;
+    for (const char* scheduler : {"easy", "easy-malleable"}) {
+      auto result = bench::run(platform, scheduler, workload::generate_workload(generator));
+      int requests = 0, granted = 0;
+      for (const auto& record : result.recorder.records()) {
+        requests += record.evolving_requests;
+        granted += record.evolving_granted;
+      }
+      std::printf("%.0f,%s,%d,%d,%.3f,%.1f,%d,%d\n", interarrival, scheduler, requests,
+                  granted, requests ? static_cast<double>(granted) / requests : 0.0,
+                  result.recorder.mean_turnaround(), result.recorder.total_expansions(),
+                  result.recorder.total_shrinks());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Campaign study: how PFS bandwidth provisioning changes the outcome of an
+// I/O-heavy workload, and how much node-local burst buffers help.
+//
+//   ./io_contention_campaign [--nodes=64] [--jobs=80] [--seed=42]
+//
+// Runs the same checkpoint-heavy workload against a sweep of PFS write
+// bandwidths, once with checkpoints going to the PFS and once redirected to
+// node-local burst buffers, and prints makespan / wait / kill counts.
+// Demonstrates: platform variation, I/O task targets, and the kill
+// accounting surfaced by the batch system.
+#include <cstdio>
+
+#include "core/simulation.h"
+#include "util/flags.h"
+#include "util/units.h"
+#include "workload/generator.h"
+
+using namespace elastisim;
+
+namespace {
+
+std::vector<workload::Job> campaign_workload(const util::Flags& flags, bool to_burst_buffer) {
+  workload::GeneratorConfig generator;
+  generator.job_count = static_cast<std::size_t>(flags.get("jobs", std::int64_t{80}));
+  generator.seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{42}));
+  generator.max_nodes = 16;
+  generator.flops_per_node = 48.0 * 2e9;
+  // I/O-heavy campaign: short compute iterations, fat checkpoints, large
+  // input/output files, so the PFS is a first-order bottleneck.
+  generator.mean_iteration_compute = 15.0;
+  generator.mean_interarrival = 20.0;
+  generator.io_fraction = 0.8;
+  generator.io_bytes = 256.0 * 1024 * 1024 * 1024;
+  generator.checkpoint_fraction = 0.6;
+  generator.checkpoint_bytes = 16.0 * 1024 * 1024 * 1024;
+  auto jobs = workload::generate_workload(generator);
+  if (to_burst_buffer) {
+    for (workload::Job& job : jobs) {
+      for (workload::Phase& phase : job.application.phases) {
+        for (workload::TaskGroup& group : phase.groups) {
+          for (workload::Task& task : group) {
+            if (auto* io = std::get_if<workload::IoTask>(&task.payload)) {
+              if (task.name == "checkpoint") io->target = workload::IoTarget::kBurstBuffer;
+            }
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  std::printf("I/O contention campaign: PFS sweep with and without burst buffers\n\n");
+  std::printf("%-14s %-14s %12s %12s %8s\n", "pfs_write_bw", "checkpoints", "makespan",
+              "turnaround", "killed");
+
+  for (const double gbps : {10.0, 20.0, 40.0, 80.0, 160.0}) {
+    for (const bool burst_buffer : {false, true}) {
+      core::SimulationConfig config;
+      config.platform.topology = platform::TopologyKind::kFatTree;
+      config.platform.node_count =
+          static_cast<std::size_t>(flags.get("nodes", std::int64_t{64}));
+      config.platform.cores_per_node = 48;
+      config.platform.flops_per_core = 2e9;
+      config.platform.link_bandwidth = 12.5e9;
+      config.platform.pod_size = 16;
+      config.platform.pod_bandwidth = 100e9;
+      config.platform.pfs.read_bandwidth = 2.0 * gbps * 1e9;
+      config.platform.pfs.write_bandwidth = gbps * 1e9;
+      config.platform.burst_buffer_bandwidth = burst_buffer ? 5e9 : 0.0;
+      config.scheduler = "easy";
+
+      auto result =
+          core::run_simulation(config, campaign_workload(flags, burst_buffer));
+      std::printf("%-14s %-14s %12s %12s %8zu\n",
+                  util::format_bytes(gbps * 1e9).append("/s").c_str(),
+                  burst_buffer ? "burst-buffer" : "pfs",
+                  util::format_duration(result.makespan).c_str(),
+                  util::format_duration(result.recorder.mean_turnaround()).c_str(),
+                  result.killed);
+    }
+  }
+  std::printf("\nCheckpoints redirected to burst buffers decouple the workload from PFS\n"
+              "write bandwidth; the PFS-bound configuration keeps improving with\n"
+              "provisioned bandwidth instead.\n");
+  return 0;
+}

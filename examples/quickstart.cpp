@@ -1,0 +1,72 @@
+// Quickstart: simulate a small mixed workload under two schedulers and
+// compare the headline metrics.
+//
+//   ./quickstart [--nodes=32] [--jobs=40] [--malleable=0.5] [--seed=42]
+//                [--scheduler=easy-malleable] [--baseline=easy]
+//
+// Demonstrates the three steps every ElastiSim-style experiment follows:
+//   1. describe the platform (platform::ClusterConfig),
+//   2. obtain a workload (workload::generate_workload or a file),
+//   3. run it under a scheduling algorithm (core::run_simulation).
+#include <cstdio>
+
+#include "core/simulation.h"
+#include "util/flags.h"
+#include "util/units.h"
+#include "workload/generator.h"
+
+using namespace elastisim;
+
+namespace {
+
+void report(const char* label, const core::SimulationResult& result) {
+  const stats::Recorder& recorder = result.recorder;
+  std::printf("%-16s makespan %10s | mean wait %9s | turnaround %9s | util %5.1f%%"
+              " | expands %3d | shrinks %3d\n",
+              label, util::format_duration(result.makespan).c_str(),
+              util::format_duration(recorder.mean_wait()).c_str(),
+              util::format_duration(recorder.mean_turnaround()).c_str(),
+              100.0 * recorder.average_utilization(), recorder.total_expansions(),
+              recorder.total_shrinks());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+
+  platform::ClusterConfig platform;
+  platform.topology = platform::TopologyKind::kStar;
+  platform.node_count = static_cast<std::size_t>(flags.get("nodes", std::int64_t{32}));
+  platform.cores_per_node = 48;
+  platform.flops_per_core = 1e9;
+  platform.link_bandwidth = 12.5e9;
+  platform.pfs.read_bandwidth = 100e9;
+  platform.pfs.write_bandwidth = 80e9;
+
+  workload::GeneratorConfig generator;
+  generator.job_count = static_cast<std::size_t>(flags.get("jobs", std::int64_t{40}));
+  generator.seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{42}));
+  generator.min_nodes = 1;
+  generator.max_nodes = static_cast<int>(platform.node_count) / 2;
+  generator.malleable_fraction = flags.get("malleable", 0.5);
+  generator.flops_per_node = platform.cores_per_node * platform.flops_per_core;
+  generator.io_fraction = 0.3;
+
+  std::printf("quickstart: %zu jobs on %zu nodes, %.0f%% malleable\n\n", generator.job_count,
+              platform.node_count, 100.0 * generator.malleable_fraction);
+
+  for (const std::string& name :
+       {flags.get("baseline", std::string("easy")),
+        flags.get("scheduler", std::string("easy-malleable"))}) {
+    core::SimulationConfig config;
+    config.platform = platform;
+    config.scheduler = name;
+    auto result = core::run_simulation(config, workload::generate_workload(generator));
+    report(name.c_str(), result);
+    if (result.stuck > 0) {
+      std::printf("  WARNING: %zu jobs never completed\n", result.stuck);
+    }
+  }
+  return 0;
+}

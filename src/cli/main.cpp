@@ -1,0 +1,166 @@
+// elastisim — command-line front end.
+//
+//   elastisim --platform platform.json --workload workload.json \
+//             [--scheduler easy-malleable] [--interval 0] [--no-reconfig-cost] \
+//             [--out-dir results] [--log info]
+//
+//   elastisim --platform platform.json --swf trace.swf \
+//             [--swf-cores-per-node 48] [--swf-malleable 0.0] ...
+//
+// Runs the workload on the platform under the chosen algorithm and writes
+//   <out-dir>/jobs.csv      per-job records,
+//   <out-dir>/timeline.csv  allocated-node step function,
+//   <out-dir>/summary.json  headline metrics,
+// printing the summary to stdout as well.
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "core/simulation.h"
+#include "json/json.h"
+#include "stats/trace.h"
+#include "platform/loader.h"
+#include "util/flags.h"
+#include "util/log.h"
+#include "util/units.h"
+#include "workload/swf.h"
+#include "workload/workload_io.h"
+
+using namespace elastisim;
+
+namespace {
+
+void usage(const char* program) {
+  std::fprintf(stderr,
+               "usage: %s --platform <file.json> (--workload <file.json> | --swf <trace>)\n"
+               "          [--scheduler <name>] [--interval <seconds>] [--no-reconfig-cost]\n"
+               "          [--out-dir <dir>] [--trace] [--log <level>]\n\n"
+               "schedulers:",
+               program);
+  for (const std::string& name : core::scheduler_names()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+}
+
+json::Value summary_json(const core::SimulationResult& result,
+                         const core::SimulationConfig& config) {
+  json::Object out;
+  out["scheduler"] = config.scheduler;
+  out["submitted"] = result.submitted;
+  out["finished"] = result.finished;
+  out["killed"] = result.killed;
+  out["stuck"] = result.stuck;
+  out["makespan_s"] = result.makespan;
+  out["mean_wait_s"] = result.recorder.mean_wait();
+  out["median_wait_s"] = result.recorder.median_wait();
+  out["max_wait_s"] = result.recorder.max_wait();
+  out["mean_turnaround_s"] = result.recorder.mean_turnaround();
+  out["mean_bounded_slowdown"] = result.recorder.mean_bounded_slowdown();
+  out["avg_utilization"] = result.recorder.average_utilization();
+  out["expansions"] = result.recorder.total_expansions();
+  out["shrinks"] = result.recorder.total_shrinks();
+  out["wall_seconds"] = result.wall_seconds;
+  out["events_processed"] = result.events_processed;
+  return json::Value(std::move(out));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  util::set_log_level(util::parse_log_level(flags.get("log", std::string("warn"))));
+
+  const std::string platform_path = flags.get("platform", std::string());
+  const std::string workload_path = flags.get("workload", std::string());
+  const std::string swf_path = flags.get("swf", std::string());
+  if (platform_path.empty() || (workload_path.empty() && swf_path.empty())) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  try {
+    core::SimulationConfig config;
+    config.platform = platform::load_cluster_config(platform_path);
+    config.scheduler = flags.get("scheduler", std::string("easy-malleable"));
+    config.batch.scheduling_interval = flags.get("interval", 0.0);
+    config.batch.charge_reconfiguration = !flags.get("no-reconfig-cost", false);
+
+    std::vector<workload::Job> jobs;
+    if (!workload_path.empty()) {
+      jobs = workload::load_workload(workload_path);
+    } else {
+      workload::SwfImportOptions options;
+      options.flops_per_node =
+          config.platform.cores_per_node * config.platform.flops_per_core;
+      options.processors_per_node =
+          static_cast<int>(flags.get("swf-cores-per-node", std::int64_t{1}));
+      options.malleable_fraction = flags.get("swf-malleable", 0.0);
+      options.max_nodes = static_cast<int>(config.platform.node_count);
+      options.seed = static_cast<std::uint64_t>(flags.get("seed", std::int64_t{42}));
+      jobs = workload::jobs_from_swf(workload::parse_swf_file(swf_path), options);
+    }
+    std::printf("loaded %zu jobs, %zu-node %s platform, scheduler %s\n", jobs.size(),
+                config.platform.node_count,
+                platform::to_string(config.platform.topology).c_str(),
+                config.scheduler.c_str());
+
+    const std::string out_dir = flags.get("out-dir", std::string("results"));
+    const bool want_trace = flags.get("trace", false);
+    for (const std::string& unknown : flags.unused()) {
+      ELSIM_WARN("unknown flag --{} ignored", unknown);
+    }
+
+    // Wire the pieces by hand (instead of run_simulation) so the optional
+    // event trace can be attached.
+    core::SimulationResult result;
+    {
+      sim::Engine engine;
+      platform::Cluster cluster(engine, config.platform);
+      core::BatchSystem batch(engine, cluster, core::make_scheduler(config.scheduler),
+                              result.recorder, config.batch);
+      stats::EventTrace trace;
+      if (want_trace) batch.set_event_trace(&trace);
+      result.submitted = batch.submit_all(std::move(jobs));
+      const auto wall_begin = std::chrono::steady_clock::now();
+      engine.run();
+      result.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin)
+              .count();
+      result.finished = batch.finished_jobs();
+      result.killed = batch.killed_jobs();
+      result.stuck = batch.queued_jobs() + batch.running_jobs();
+      result.makespan = result.recorder.makespan();
+      result.events_processed = engine.events_processed();
+      if (want_trace) {
+        std::filesystem::create_directories(out_dir);
+        std::ofstream trace_csv(out_dir + "/trace.csv");
+        trace.write_csv(trace_csv);
+      }
+    }
+
+    std::filesystem::create_directories(out_dir);
+    {
+      std::ofstream jobs_csv(out_dir + "/jobs.csv");
+      result.recorder.write_jobs_csv(jobs_csv);
+      std::ofstream timeline_csv(out_dir + "/timeline.csv");
+      result.recorder.write_timeline_csv(timeline_csv);
+      json::write_file(out_dir + "/summary.json", summary_json(result, config));
+    }
+
+    std::printf("\n%s\n", json::dump_pretty(summary_json(result, config)).c_str());
+    std::printf("\nwrote %s/jobs.csv, %s/timeline.csv, %s/summary.json\n", out_dir.c_str(),
+                out_dir.c_str(), out_dir.c_str());
+    if (result.stuck > 0) {
+      std::fprintf(stderr, "warning: %zu jobs never completed (check job sizes vs platform)\n",
+                   result.stuck);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,595 @@
+#include "core/batch_system.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/fmt.h"
+#include "util/log.h"
+
+namespace elastisim::core {
+
+using workload::JobId;
+
+BatchSystem::BatchSystem(sim::Engine& engine, const platform::Cluster& cluster,
+                         std::unique_ptr<Scheduler> scheduler, stats::Recorder& recorder,
+                         BatchConfig config)
+    : engine_(&engine),
+      cluster_(&cluster),
+      scheduler_(std::move(scheduler)),
+      recorder_(&recorder),
+      config_(config) {
+  assert(scheduler_ && "batch system needs a scheduler");
+  for (const platform::Node& node : cluster.nodes()) free_nodes_.insert(node.id);
+  recorder_->set_total_nodes(static_cast<int>(cluster.node_count()));
+}
+
+BatchSystem::~BatchSystem() = default;
+
+BatchSystem::Managed& BatchSystem::managed(JobId id) {
+  auto it = jobs_.find(id);
+  assert(it != jobs_.end() && "unknown job id");
+  return *it->second;
+}
+
+const BatchSystem::Managed& BatchSystem::managed(JobId id) const {
+  auto it = jobs_.find(id);
+  assert(it != jobs_.end() && "unknown job id");
+  return *it->second;
+}
+
+bool BatchSystem::submit(workload::Job job) {
+  if (auto error = job.validate()) {
+    ELSIM_ERROR("rejecting job {}: {}", job.id, *error);
+    return false;
+  }
+  if (job.min_nodes > static_cast<int>(cluster_->node_count())) {
+    ELSIM_WARN("rejecting job {}: needs {} nodes, cluster has {}", job.id, job.min_nodes,
+               cluster_->node_count());
+    return false;
+  }
+  const double node_memory = cluster_->config().memory_bytes;
+  if (job.memory_bytes_per_node > 0.0 && node_memory > 0.0 &&
+      job.memory_bytes_per_node > node_memory) {
+    ELSIM_WARN("rejecting job {}: needs {} bytes/node, nodes have {}", job.id,
+               job.memory_bytes_per_node, node_memory);
+    return false;
+  }
+  assert(!jobs_.count(job.id) && "duplicate job id");
+  for (JobId dep : job.dependencies) {
+    if (dep == job.id || !jobs_.count(dep)) {
+      ELSIM_WARN("rejecting job {}: dependency {} not previously submitted", job.id, dep);
+      return false;
+    }
+  }
+  const JobId id = job.id;
+  const double when = job.submit_time;
+  auto entry = std::make_unique<Managed>();
+  entry->job = std::move(job);
+  jobs_.emplace(id, std::move(entry));
+  for (JobId dep : jobs_.at(id)->job.dependencies) dependents_[dep].push_back(id);
+  ++unfinished_;
+  engine_->schedule_at(when, [this, id] { enter_queue(id); });
+  return true;
+}
+
+std::size_t BatchSystem::submit_all(std::vector<workload::Job> jobs) {
+  std::size_t accepted = 0;
+  for (workload::Job& job : jobs) {
+    if (submit(std::move(job))) ++accepted;
+  }
+  return accepted;
+}
+
+void BatchSystem::enter_queue(JobId id) {
+  Managed& job = managed(id);
+  assert(job.state == JobState::kPending);
+  recorder_->on_submit(job.job, engine_->now());
+  trace(stats::TraceEvent::kSubmit, id,
+        util::fmt("{} nodes, {}", job.job.requested_nodes, workload::to_string(job.job.type)));
+  ELSIM_DEBUG("t={} submit job {} ({} nodes, {})", engine_->now(), id,
+              job.job.requested_nodes, workload::to_string(job.job.type));
+
+  // Dependency gate: hold until every dependency finished; cancel right away
+  // if one already failed.
+  for (JobId dep : job.job.dependencies) {
+    const Managed& parent = managed(dep);
+    switch (parent.state) {
+      case JobState::kFinished: break;  // satisfied
+      case JobState::kKilled:
+      case JobState::kCancelled:
+        cancel_job(job);
+        invoke_scheduler();
+        return;
+      default: job.outstanding_deps.insert(dep);
+    }
+  }
+  if (!job.outstanding_deps.empty()) {
+    job.state = JobState::kHeld;
+    ++held_;
+    ELSIM_DEBUG("t={} job {} held on {} dependencies", engine_->now(), id,
+                job.outstanding_deps.size());
+    return;
+  }
+  job.state = JobState::kQueued;
+  queue_order_.push_back(id);
+  arm_timer();
+  invoke_scheduler();
+}
+
+void BatchSystem::resolve_dependents(JobId id, bool succeeded) {
+  auto it = dependents_.find(id);
+  if (it == dependents_.end()) return;
+  for (JobId child_id : it->second) {
+    Managed& child = managed(child_id);
+    if (child.state != JobState::kHeld) continue;  // pending or already cancelled
+    if (!succeeded) {
+      --held_;
+      cancel_job(child);
+      continue;
+    }
+    child.outstanding_deps.erase(id);
+    if (child.outstanding_deps.empty()) {
+      --held_;
+      child.state = JobState::kQueued;
+      queue_order_.push_back(child_id);
+      ELSIM_DEBUG("t={} job {} released into the queue", engine_->now(), child_id);
+      arm_timer();
+    }
+  }
+}
+
+void BatchSystem::cancel_job(Managed& job) {
+  const JobId id = job.job.id;
+  assert(job.state == JobState::kPending || job.state == JobState::kHeld ||
+         job.state == JobState::kQueued);
+  if (job.state == JobState::kQueued) {
+    queue_order_.erase(std::find(queue_order_.begin(), queue_order_.end(), id));
+  }
+  job.state = JobState::kCancelled;
+  recorder_->on_cancel(id, engine_->now());
+  trace(stats::TraceEvent::kCancel, id, "dependency failed");
+  ELSIM_INFO("t={} job {} cancelled (dependency failed)", engine_->now(), id);
+  ++cancelled_;
+  --unfinished_;
+  // Cascade to this job's own dependents.
+  resolve_dependents(id, /*succeeded=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerContext
+// ---------------------------------------------------------------------------
+
+std::vector<platform::NodeId> BatchSystem::nodes_of(JobId id) const {
+  return managed(id).nodes;
+}
+
+double BatchSystem::now() const { return engine_->now(); }
+
+int BatchSystem::total_nodes() const {
+  // Nodes currently in service: failures and drains shrink the machine
+  // (drain-pending nodes still count; their jobs are still running).
+  return static_cast<int>(cluster_->node_count() - failed_nodes_.size() -
+                          drained_nodes_.size());
+}
+
+int BatchSystem::free_nodes() const { return static_cast<int>(free_nodes_.size()); }
+
+double BatchSystem::user_usage(const std::string& user) const {
+  const auto usage = recorder_->node_seconds_by_user(engine_->now());
+  auto it = usage.find(user);
+  return it != usage.end() ? it->second : 0.0;
+}
+
+std::vector<platform::NodeId> BatchSystem::take_free_nodes(int count) {
+  assert(count <= free_nodes() && "allocating more nodes than free");
+  std::vector<platform::NodeId> taken;
+  taken.reserve(static_cast<std::size_t>(count));
+  switch (config_.placement) {
+    case PlacementPolicy::kLowestId:
+      for (int i = 0; i < count; ++i) {
+        auto first = free_nodes_.begin();
+        taken.push_back(*first);
+        free_nodes_.erase(first);
+      }
+      break;
+    case PlacementPolicy::kCompact: {
+      // Per-pod free lists, pods ordered by descending free count (ties by
+      // pod id): take whole pods before spilling into the next.
+      std::vector<std::vector<platform::NodeId>> pods(cluster_->pod_count());
+      for (platform::NodeId node : free_nodes_) {
+        pods[cluster_->pod_of(node)].push_back(node);
+      }
+      std::vector<std::size_t> order(pods.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::stable_sort(order.begin(), order.end(), [&pods](std::size_t a, std::size_t b) {
+        return pods[a].size() > pods[b].size();
+      });
+      for (std::size_t pod : order) {
+        for (platform::NodeId node : pods[pod]) {
+          if (static_cast<int>(taken.size()) == count) break;
+          taken.push_back(node);
+          free_nodes_.erase(node);
+        }
+        if (static_cast<int>(taken.size()) == count) break;
+      }
+      break;
+    }
+    case PlacementPolicy::kSpread: {
+      // Round-robin one node per pod per pass.
+      std::vector<std::vector<platform::NodeId>> pods(cluster_->pod_count());
+      for (platform::NodeId node : free_nodes_) {
+        pods[cluster_->pod_of(node)].push_back(node);
+      }
+      std::size_t cursor = 0;
+      while (static_cast<int>(taken.size()) < count) {
+        bool any = false;
+        for (std::size_t i = 0; i < pods.size() &&
+                                static_cast<int>(taken.size()) < count;
+             ++i) {
+          auto& pod = pods[(i + cursor) % pods.size()];
+          if (pod.empty()) continue;
+          taken.push_back(pod.front());
+          pod.erase(pod.begin());
+          free_nodes_.erase(taken.back());
+          any = true;
+        }
+        ++cursor;
+        if (!any) break;  // defensive: cannot happen given the count check
+      }
+      break;
+    }
+  }
+  assert(static_cast<int>(taken.size()) == count);
+  return taken;
+}
+
+void BatchSystem::start_job(JobId id, int nodes) {
+  Managed& job = managed(id);
+  assert(job.state == JobState::kQueued && "start_job on a non-queued job");
+  if (job.job.type == workload::JobType::kRigid) {
+    assert(nodes == job.job.requested_nodes && "rigid jobs start at their requested size");
+  } else {
+    assert(nodes >= job.job.min_nodes && nodes <= job.job.max_nodes &&
+           "start size outside the job's range");
+  }
+  assert(nodes <= free_nodes() && "not enough free nodes");
+
+  queue_order_.erase(std::find(queue_order_.begin(), queue_order_.end(), id));
+  job.state = JobState::kRunning;
+  job.start_time = engine_->now();
+  job.nodes = take_free_nodes(nodes);
+  running_order_.push_back(id);
+  recorder_->on_start(id, engine_->now(), nodes);
+  trace(stats::TraceEvent::kStart, id, util::fmt("{} nodes", nodes));
+  ELSIM_DEBUG("t={} start job {} on {} nodes", engine_->now(), id, nodes);
+
+  if (std::isfinite(job.job.walltime_limit)) {
+    job.walltime_event = engine_->schedule_in(job.job.walltime_limit,
+                                              [this, id] { handle_walltime(id); });
+  }
+  job.execution = std::make_unique<JobExecution>(
+      *engine_, *cluster_, job.job, job.nodes,
+      [this, id](int delta) { handle_boundary(id, delta); },
+      [this, id] { handle_completion(id); });
+  job.execution->start();
+  rebuild_views();
+}
+
+void BatchSystem::set_target(JobId id, int nodes) {
+  Managed& job = managed(id);
+  assert((job.state == JobState::kRunning || job.state == JobState::kAtBoundary) &&
+         "set_target on a job that is not running");
+  assert(job.job.can_resize_at_runtime() && "set_target on a non-resizable job");
+  const int clamped = job.job.clamp_nodes(nodes);
+  job.pending_target =
+      clamped == static_cast<int>(job.nodes.size()) ? -1 : clamped;
+  rebuild_views();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling points
+// ---------------------------------------------------------------------------
+
+void BatchSystem::handle_boundary(JobId id, int evolving_delta) {
+  Managed& job = managed(id);
+  job.state = JobState::kAtBoundary;
+  job.boundary_delta = evolving_delta;
+  // Defer: the boundary may fire from inside another job's event; a
+  // zero-delay event keeps scheduler invocations non-reentrant.
+  engine_->schedule_in(0.0, [this, id] { process_boundary(id); });
+}
+
+void BatchSystem::process_boundary(JobId id) {
+  Managed& job = managed(id);
+  if (job.state != JobState::kAtBoundary) return;  // killed meanwhile
+
+  if (job.boundary_delta != 0 && job.job.type == workload::JobType::kEvolving) {
+    const int current = static_cast<int>(job.nodes.size());
+    const int desired = job.job.clamp_nodes(current + job.boundary_delta);
+    if (desired != current) {
+      rebuild_views();
+      const bool granted =
+          scheduler_->on_evolving_request(*this, id, desired - current);
+      recorder_->on_evolving_request(id, granted);
+      trace(stats::TraceEvent::kEvolvingRequest, id,
+            util::fmt("{}{} {}", desired - current >= 0 ? "+" : "", desired - current,
+                      granted ? "granted" : "denied"));
+      if (granted) job.pending_target = desired;
+    }
+    job.boundary_delta = 0;
+  }
+
+  // Let the scheduler revise targets with this job paused at its boundary.
+  invoke_scheduler();
+  if (job.state != JobState::kAtBoundary) return;  // killed by walltime during scheduling
+
+  int target = job.pending_target >= 0 ? job.pending_target
+                                       : static_cast<int>(job.nodes.size());
+  job.pending_target = -1;
+  const int current = static_cast<int>(job.nodes.size());
+  if (target > current) {
+    // Growth is bounded by what is free right now.
+    target = std::min(target, current + free_nodes());
+    target = job.job.clamp_nodes(target);
+    if (target < job.job.min_nodes) target = current;
+  }
+  if (target == current || !job.job.can_resize_at_runtime()) {
+    job.state = JobState::kRunning;
+    job.execution->resume();
+    return;
+  }
+  apply_resize(job, target);
+}
+
+void BatchSystem::apply_resize(Managed& job, int target) {
+  const JobId id = job.job.id;
+  const int current = static_cast<int>(job.nodes.size());
+  assert(target != current && target >= job.job.min_nodes && target <= job.job.max_nodes);
+  job.state = JobState::kRunning;
+  if (target > current) {
+    // Expansion: new nodes are busy from the start of redistribution.
+    std::vector<platform::NodeId> grown = job.nodes;
+    for (platform::NodeId node : take_free_nodes(target - current)) grown.push_back(node);
+    job.nodes = grown;
+    recorder_->on_resize(id, engine_->now(), target);
+    trace(stats::TraceEvent::kExpand, id, util::fmt("{}->{}", current, target));
+    ELSIM_DEBUG("t={} expand job {} {} -> {}", engine_->now(), id, current, target);
+    job.execution->resume_with_nodes(std::move(grown), config_.charge_reconfiguration,
+                                     nullptr);
+  } else {
+    // Shrink: keep a prefix; the tail is released after redistribution.
+    std::vector<platform::NodeId> kept(job.nodes.begin(), job.nodes.begin() + target);
+    std::vector<platform::NodeId> removed(job.nodes.begin() + target, job.nodes.end());
+    ELSIM_DEBUG("t={} shrink job {} {} -> {}", engine_->now(), id, current, target);
+    job.execution->resume_with_nodes(
+        kept, config_.charge_reconfiguration,
+        [this, id, kept, removed, target] {
+          Managed& shrunk = managed(id);
+          shrunk.nodes = kept;
+          for (platform::NodeId node : removed) return_node(node);
+          recorder_->on_resize(id, engine_->now(), target);
+          trace(stats::TraceEvent::kShrink, id,
+                util::fmt("{}->{}", kept.size() + removed.size(), target));
+          invoke_scheduler();
+        });
+  }
+  rebuild_views();
+}
+
+void BatchSystem::handle_completion(JobId id) {
+  Managed& job = managed(id);
+  assert(job.state == JobState::kRunning || job.state == JobState::kAtBoundary);
+  if (job.walltime_event != sim::kInvalidEventId) {
+    engine_->cancel(job.walltime_event);
+    job.walltime_event = sim::kInvalidEventId;
+  }
+  job.state = JobState::kFinished;
+  release_all_nodes(job);
+  running_order_.erase(std::find(running_order_.begin(), running_order_.end(), id));
+  recorder_->on_finish(id, engine_->now(), /*killed=*/false);
+  trace(stats::TraceEvent::kFinish, id);
+  ++finished_;
+  --unfinished_;
+  ELSIM_DEBUG("t={} finish job {}", engine_->now(), id);
+  resolve_dependents(id, /*succeeded=*/true);
+  invoke_scheduler();
+}
+
+void BatchSystem::handle_walltime(JobId id) {
+  Managed& job = managed(id);
+  if (job.state != JobState::kRunning && job.state != JobState::kAtBoundary) return;
+  ELSIM_INFO("t={} walltime kill job {}", engine_->now(), id);
+  job.walltime_event = sim::kInvalidEventId;
+  job.execution->abort();
+  job.state = JobState::kKilled;
+  release_all_nodes(job);
+  running_order_.erase(std::find(running_order_.begin(), running_order_.end(), id));
+  recorder_->on_finish(id, engine_->now(), /*killed=*/true);
+  trace(stats::TraceEvent::kWalltimeKill, id);
+  ++killed_;
+  --unfinished_;
+  resolve_dependents(id, /*succeeded=*/false);
+  invoke_scheduler();
+}
+
+void BatchSystem::return_node(platform::NodeId node) {
+  if (failed_nodes_.count(node)) return;  // stays out until repaired
+  if (drain_pending_.erase(node) > 0) {
+    drained_nodes_.insert(node);
+    ELSIM_INFO("t={} node {} drained", engine_->now(), node);
+    return;
+  }
+  free_nodes_.insert(node);
+}
+
+void BatchSystem::release_all_nodes(Managed& job) {
+  for (platform::NodeId node : job.nodes) return_node(node);
+  job.nodes.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------------
+
+void BatchSystem::inject_failure(platform::NodeId node, double fail_time,
+                                 double repair_time) {
+  assert(node < cluster_->node_count());
+  assert(repair_time >= fail_time);
+  engine_->schedule_at(fail_time, [this, node] { fail_node(node); });
+  if (std::isfinite(repair_time)) {
+    engine_->schedule_at(repair_time, [this, node] { restore_node(node); });
+  }
+}
+
+void BatchSystem::fail_node(platform::NodeId node) {
+  if (failed_nodes_.count(node)) return;
+  failed_nodes_.insert(node);
+  drained_nodes_.erase(node);
+  drain_pending_.erase(node);
+  ELSIM_INFO("t={} node {} failed", engine_->now(), node);
+  trace(stats::TraceEvent::kNodeFail, 0, util::fmt("node {}", node));
+  if (free_nodes_.erase(node) > 0) {
+    invoke_scheduler();  // capacity shrank; reservations may change
+    return;
+  }
+  // Find the victim job (if any — the node may be mid-release).
+  for (JobId id : running_order_) {
+    Managed& job = managed(id);
+    if (std::find(job.nodes.begin(), job.nodes.end(), node) != job.nodes.end()) {
+      evict_job(job);
+      break;
+    }
+  }
+  invoke_scheduler();
+}
+
+void BatchSystem::restore_node(platform::NodeId node) {
+  if (failed_nodes_.erase(node) == 0) return;
+  free_nodes_.insert(node);
+  ELSIM_INFO("t={} node {} restored", engine_->now(), node);
+  trace(stats::TraceEvent::kNodeRestore, 0, util::fmt("node {}", node));
+  invoke_scheduler();
+}
+
+void BatchSystem::drain_node(platform::NodeId node, double when, double until) {
+  assert(node < cluster_->node_count());
+  assert(until >= when);
+  engine_->schedule_at(when, [this, node] { start_drain(node); });
+  if (std::isfinite(until)) {
+    engine_->schedule_at(until, [this, node] { undrain_node(node); });
+  }
+}
+
+void BatchSystem::start_drain(platform::NodeId node) {
+  if (drained_nodes_.count(node) || drain_pending_.count(node)) return;
+  if (free_nodes_.erase(node) > 0) {
+    drained_nodes_.insert(node);
+    ELSIM_INFO("t={} node {} drained (was idle)", engine_->now(), node);
+  } else {
+    drain_pending_.insert(node);
+    ELSIM_INFO("t={} node {} drain pending (busy)", engine_->now(), node);
+  }
+  invoke_scheduler();
+}
+
+void BatchSystem::undrain_node(platform::NodeId node) {
+  if (drain_pending_.erase(node) > 0) return;  // never left service
+  if (drained_nodes_.erase(node) == 0) return;
+  free_nodes_.insert(node);
+  ELSIM_INFO("t={} node {} back in service", engine_->now(), node);
+  invoke_scheduler();
+}
+
+void BatchSystem::evict_job(Managed& job) {
+  const JobId id = job.job.id;
+  assert(job.state == JobState::kRunning || job.state == JobState::kAtBoundary);
+  job.execution->abort();
+  if (job.walltime_event != sim::kInvalidEventId) {
+    engine_->cancel(job.walltime_event);
+    job.walltime_event = sim::kInvalidEventId;
+  }
+  release_all_nodes(job);
+  job.pending_target = -1;
+  job.boundary_delta = 0;
+  running_order_.erase(std::find(running_order_.begin(), running_order_.end(), id));
+  if (config_.failure_policy == FailurePolicy::kKill) {
+    ELSIM_INFO("t={} job {} killed by node failure", engine_->now(), id);
+    job.state = JobState::kKilled;
+    recorder_->on_finish(id, engine_->now(), /*killed=*/true);
+    ++killed_;
+    --unfinished_;
+    resolve_dependents(id, /*succeeded=*/false);
+  } else {
+    ELSIM_INFO("t={} job {} requeued after node failure", engine_->now(), id);
+    job.state = JobState::kQueued;
+    job.execution.reset();
+    job.start_time = -1.0;
+    recorder_->on_requeue(id, engine_->now());
+    trace(stats::TraceEvent::kRequeue, id);
+    queue_order_.push_back(id);
+    ++requeues_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler invocation
+// ---------------------------------------------------------------------------
+
+void BatchSystem::invoke_scheduler() {
+  if (in_scheduler_) {
+    rerun_scheduler_ = true;
+    return;
+  }
+  in_scheduler_ = true;
+  int rounds = 0;
+  do {
+    rerun_scheduler_ = false;
+    rebuild_views();
+    scheduler_->schedule(*this);
+    if (++rounds > 1000) {
+      ELSIM_ERROR("scheduler did not converge after 1000 rounds at t={}; giving up",
+                  engine_->now());
+      break;
+    }
+  } while (rerun_scheduler_);
+  in_scheduler_ = false;
+}
+
+void BatchSystem::rebuild_views() {
+  queue_view_.clear();
+  queue_view_.reserve(queue_order_.size());
+  for (JobId id : queue_order_) {
+    const Managed& job = managed(id);
+    queue_view_.push_back(QueuedJob{&job.job, engine_->now() - job.job.submit_time});
+  }
+  running_view_.clear();
+  running_view_.reserve(running_order_.size());
+  for (JobId id : running_order_) {
+    const Managed& job = managed(id);
+    double remaining = sim::kTimeInfinity;
+    if (std::isfinite(job.job.walltime_limit)) {
+      remaining = std::max(0.0, job.start_time + job.job.walltime_limit - engine_->now());
+    }
+    const int nodes = static_cast<int>(job.nodes.size());
+    running_view_.push_back(RunningJob{&job.job, job.start_time, nodes, remaining,
+                                       job.pending_target >= 0 ? job.pending_target : nodes});
+  }
+}
+
+void BatchSystem::trace(stats::TraceEvent event, workload::JobId job, std::string detail) {
+  if (trace_) trace_->record(engine_->now(), event, job, std::move(detail));
+}
+
+void BatchSystem::arm_timer() {
+  if (config_.scheduling_interval <= 0.0 || timer_armed_) return;
+  timer_armed_ = true;
+  engine_->schedule_in(config_.scheduling_interval, [this] {
+    timer_armed_ = false;
+    if (unfinished_ == 0) return;  // let the simulation drain
+    invoke_scheduler();
+    arm_timer();
+  });
+}
+
+}  // namespace elastisim::core

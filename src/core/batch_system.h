@@ -1,0 +1,210 @@
+// The batch system: job queue, node bookkeeping, scheduling points, and the
+// malleable-reconfiguration protocol.
+//
+// Scheduling points (each triggers Scheduler::schedule):
+//   - job submission,
+//   - job completion and walltime kill,
+//   - an application phase boundary (where pending resize decisions and
+//     evolving requests are mediated),
+//   - completion of a shrink's data redistribution (nodes become free),
+//   - an optional periodic timer.
+//
+// Resize protocol: the scheduler records a *target size* for a running
+// malleable/evolving job at any scheduling point; the batch system applies
+// it at the job's next phase boundary. Shrinks always apply; growth is
+// limited by the nodes free at that moment. Expansion occupies the new nodes
+// when redistribution starts; shrunk-away nodes are released only after the
+// redistribution transfer completes.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/job_execution.h"
+#include "core/scheduler.h"
+#include "platform/cluster.h"
+#include "sim/engine.h"
+#include "stats/metrics.h"
+#include "stats/trace.h"
+#include "workload/job.h"
+
+namespace elastisim::core {
+
+/// How the batch system maps a node-count decision onto concrete nodes.
+enum class PlacementPolicy {
+  /// Lowest free node ids (simple, deterministic baseline).
+  kLowestId,
+  /// Fill the emptiest pods first, keeping each job in as few pods as
+  /// possible (minimizes pod-uplink traffic for intra-job communication).
+  kCompact,
+  /// Round-robin across pods (maximizes per-job injection/pod bandwidth at
+  /// the price of more inter-pod traffic).
+  kSpread,
+};
+
+/// What happens to a job whose node fails underneath it.
+enum class FailurePolicy {
+  /// The job is terminated and recorded as killed.
+  kKill,
+  /// The job loses its progress and re-enters the queue (resubmission).
+  kRequeue,
+};
+
+struct BatchConfig {
+  /// Periodic scheduler invocation interval; 0 disables the timer (the
+  /// scheduler still runs at every event-driven scheduling point).
+  double scheduling_interval = 0.0;
+  /// Model the data-redistribution cost of reconfigurations. Disabling it
+  /// makes resizes free (the R7 ablation).
+  bool charge_reconfiguration = true;
+  /// Reaction to injected node failures.
+  FailurePolicy failure_policy = FailurePolicy::kRequeue;
+  /// Node-selection strategy for starts and expansions.
+  PlacementPolicy placement = PlacementPolicy::kLowestId;
+};
+
+class BatchSystem final : public SchedulerContext {
+ public:
+  BatchSystem(sim::Engine& engine, const platform::Cluster& cluster,
+              std::unique_ptr<Scheduler> scheduler, stats::Recorder& recorder,
+              BatchConfig config = {});
+  ~BatchSystem() override;
+
+  /// Registers a job; it enters the queue at job.submit_time. Jobs whose
+  /// minimum size exceeds the cluster are rejected (returns false).
+  bool submit(workload::Job job);
+  std::size_t submit_all(std::vector<workload::Job> jobs);
+
+  /// Attaches an event trace (not owned; must outlive the batch system).
+  /// Pass nullptr to detach.
+  void set_event_trace(stats::EventTrace* trace) { trace_ = trace; }
+
+  /// Schedules node `node` to fail at `fail_time` and (optionally) return to
+  /// service at `repair_time`. A failed node leaves the free pool; a job
+  /// running on it is killed or requeued per BatchConfig::failure_policy.
+  /// Call before or during the simulation.
+  void inject_failure(platform::NodeId node, double fail_time,
+                      double repair_time = std::numeric_limits<double>::infinity());
+
+  /// Graceful maintenance drain: from `when`, the node accepts no new work;
+  /// if busy, the running job finishes (or resizes away) normally and only
+  /// then does the node leave service. undrain at `until` (infinity = stay
+  /// drained).
+  void drain_node(platform::NodeId node, double when,
+                  double until = std::numeric_limits<double>::infinity());
+
+  /// Post-run introspection.
+  std::size_t finished_jobs() const { return finished_; }
+  std::size_t killed_jobs() const { return killed_; }
+  std::size_t cancelled_jobs() const { return cancelled_; }
+  std::size_t held_jobs() const { return held_; }
+  std::size_t requeued_jobs() const { return requeues_; }
+  std::size_t failed_nodes_now() const { return failed_nodes_.size(); }
+  std::size_t drained_nodes_now() const { return drained_nodes_.size(); }
+  std::size_t queued_jobs() const { return queue_order_.size(); }
+  std::size_t running_jobs() const { return running_order_.size(); }
+  Scheduler& scheduler_algorithm() { return *scheduler_; }
+
+  /// Concrete nodes a job currently occupies (empty when not running).
+  std::vector<platform::NodeId> nodes_of(workload::JobId id) const;
+
+  // --- SchedulerContext ----------------------------------------------------
+  double now() const override;
+  int total_nodes() const override;
+  int free_nodes() const override;
+  const std::vector<QueuedJob>& queue() const override { return queue_view_; }
+  const std::vector<RunningJob>& running() const override { return running_view_; }
+  double user_usage(const std::string& user) const override;
+  void start_job(workload::JobId id, int nodes) override;
+  void set_target(workload::JobId id, int nodes) override;
+
+ private:
+  enum class JobState {
+    kPending,    // submitted, submit_time not reached
+    kHeld,       // waiting on dependencies
+    kQueued,
+    kRunning,
+    kAtBoundary,
+    kFinished,
+    kKilled,
+    kCancelled,  // dependency failed before the job ran
+  };
+
+  struct Managed {
+    workload::Job job;
+    JobState state = JobState::kPending;
+    std::vector<platform::NodeId> nodes;
+    std::unique_ptr<JobExecution> execution;
+    double start_time = -1.0;
+    sim::EventId walltime_event = sim::kInvalidEventId;
+    /// Scheduler-requested size; -1 = none.
+    int pending_target = -1;
+    /// Evolving delta captured at the current boundary.
+    int boundary_delta = 0;
+    /// Dependencies not yet finished (held jobs only).
+    std::set<workload::JobId> outstanding_deps;
+  };
+
+  Managed& managed(workload::JobId id);
+  const Managed& managed(workload::JobId id) const;
+
+  void enter_queue(workload::JobId id);
+  /// Dependency bookkeeping: release or cancel the dependents of `id`.
+  void resolve_dependents(workload::JobId id, bool succeeded);
+  void cancel_job(Managed& job);
+  void fail_node(platform::NodeId node);
+  void restore_node(platform::NodeId node);
+  void start_drain(platform::NodeId node);
+  void undrain_node(platform::NodeId node);
+  /// Returns a node to service after a job releases it, honoring failure
+  /// and drain state.
+  void return_node(platform::NodeId node);
+  void evict_job(Managed& job);
+  void handle_boundary(workload::JobId id, int evolving_delta);
+  void process_boundary(workload::JobId id);
+  void apply_resize(Managed& job, int target);
+  void handle_completion(workload::JobId id);
+  void handle_walltime(workload::JobId id);
+  void release_all_nodes(Managed& job);
+  std::vector<platform::NodeId> take_free_nodes(int count);
+
+  void invoke_scheduler();
+  void rebuild_views();
+  void arm_timer();
+  void trace(stats::TraceEvent event, workload::JobId job, std::string detail = "");
+
+  sim::Engine* engine_;
+  const platform::Cluster* cluster_;
+  std::unique_ptr<Scheduler> scheduler_;
+  stats::Recorder* recorder_;
+  stats::EventTrace* trace_ = nullptr;
+  BatchConfig config_;
+
+  std::unordered_map<workload::JobId, std::unique_ptr<Managed>> jobs_;
+  std::unordered_map<workload::JobId, std::vector<workload::JobId>> dependents_;
+  std::vector<workload::JobId> queue_order_;
+  std::vector<workload::JobId> running_order_;
+  std::set<platform::NodeId> free_nodes_;
+  std::set<platform::NodeId> failed_nodes_;
+  std::set<platform::NodeId> drained_nodes_;      // out of service, intact
+  std::set<platform::NodeId> drain_pending_;      // busy; drain on release
+
+  std::vector<QueuedJob> queue_view_;
+  std::vector<RunningJob> running_view_;
+
+  std::size_t finished_ = 0;
+  std::size_t killed_ = 0;
+  std::size_t cancelled_ = 0;
+  std::size_t held_ = 0;
+  std::size_t requeues_ = 0;
+  std::size_t unfinished_ = 0;  // queued + running; timer stops at zero
+
+  bool in_scheduler_ = false;
+  bool rerun_scheduler_ = false;
+  bool timer_armed_ = false;
+};
+
+}  // namespace elastisim::core

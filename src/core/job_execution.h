@@ -1,0 +1,106 @@
+// Drives one job's application through the fluid model.
+//
+// Executes phases iteration by iteration: within an iteration, task groups
+// run in order and the tasks inside a group run concurrently. After every
+// iteration the execution pauses at a *scheduling point* and notifies the
+// batch system, which resumes it — unchanged, or with a new node set (a
+// reconfiguration, optionally charged with a data-redistribution transfer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "platform/cluster.h"
+#include "sim/engine.h"
+#include "workload/job.h"
+#include "workload/patterns.h"
+
+namespace elastisim::core {
+
+class JobExecution {
+ public:
+  /// Fired at each scheduling point. `evolving_delta` is non-zero when the
+  /// upcoming phase opens with an application resize request. The batch
+  /// system must eventually call resume() / resume_with_nodes().
+  using BoundaryCallback = std::function<void(int evolving_delta)>;
+  /// Fired when the application's last phase iteration completes.
+  using CompletionCallback = std::function<void()>;
+
+  JobExecution(sim::Engine& engine, const platform::Cluster& cluster, const workload::Job& job,
+               std::vector<platform::NodeId> nodes, BoundaryCallback on_boundary,
+               CompletionCallback on_complete);
+  ~JobExecution();
+
+  JobExecution(const JobExecution&) = delete;
+  JobExecution& operator=(const JobExecution&) = delete;
+
+  /// Begins the first iteration. Must be called exactly once.
+  void start();
+
+  /// Continues past the current scheduling point without changes.
+  void resume();
+
+  /// Continues with a new allocation. When `charge_redistribution` is set
+  /// and the application declares per-node state, a redistribution transfer
+  /// runs before the next iteration starts. `on_applied` fires when the new
+  /// allocation takes full effect (after the transfer), which is when the
+  /// batch system releases shrunk-away nodes.
+  void resume_with_nodes(std::vector<platform::NodeId> nodes, bool charge_redistribution,
+                         std::function<void()> on_applied);
+
+  /// Cancels all in-flight activities (walltime kill). The completion
+  /// callback will not fire.
+  void abort();
+
+  bool at_boundary() const { return state_ == State::kAtBoundary; }
+  bool done() const { return state_ == State::kDone; }
+  int node_count() const { return static_cast<int>(nodes_.size()); }
+  const std::vector<platform::NodeId>& nodes() const { return nodes_; }
+  /// Index of the phase the execution is in (or about to enter).
+  std::size_t phase_index() const { return phase_; }
+
+ private:
+  enum class State { kIdle, kRunningGroup, kAtBoundary, kRedistributing, kDone, kAborted };
+
+  const workload::Phase& current_phase() const;
+  void begin_iteration();
+  void begin_group();
+  void on_task_complete();
+  void finish_iteration();
+  /// Advances (phase_, iteration_) past the just-finished iteration;
+  /// returns false when the application is exhausted.
+  bool advance_position();
+
+  void launch_task(const workload::Task& task);
+  void launch_compute(const workload::ComputeTask& task, const std::string& label);
+  void launch_comm(const workload::CommTask& task, const std::string& label);
+  void launch_io(const workload::IoTask& task, const std::string& label);
+  void launch_delay(const workload::DelayTask& task, const std::string& label);
+  void launch_instant(const std::string& label);
+  /// Aggregates point-to-point flows into a single fluid activity; see
+  /// DESIGN.md §2.1. Returns false when there is nothing to transfer.
+  bool launch_flows(const std::vector<workload::Flow>& flows,
+                    const std::vector<platform::NodeId>& endpoints, const std::string& label);
+
+  void start_redistribution(std::vector<platform::NodeId> old_nodes, bool grew);
+
+  sim::Engine* engine_;
+  const platform::Cluster* cluster_;
+  const workload::Job* job_;
+  std::vector<platform::NodeId> nodes_;
+  BoundaryCallback on_boundary_;
+  CompletionCallback on_complete_;
+  std::function<void()> on_reconfig_applied_;
+
+  State state_ = State::kIdle;
+  std::size_t phase_ = 0;
+  int iteration_ = 0;
+  std::size_t group_ = 0;
+  std::size_t outstanding_tasks_ = 0;
+  std::vector<sim::ActivityId> active_;
+  /// Generation counter guards stale activity callbacks after abort().
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace elastisim::core

@@ -1,0 +1,30 @@
+#include "core/scheduler.h"
+
+#include "core/schedulers.h"
+
+namespace elastisim::core {
+
+bool Scheduler::on_evolving_request(SchedulerContext& ctx, workload::JobId id, int delta) {
+  (void)id;
+  if (delta <= 0) return true;  // shrinks always welcome
+  return ctx.free_nodes() >= delta;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "fcfs") return std::make_unique<FcfsScheduler>();
+  if (name == "easy") return std::make_unique<EasyBackfillScheduler>();
+  if (name == "conservative") return std::make_unique<ConservativeBackfillScheduler>();
+  if (name == "fcfs-malleable") return std::make_unique<FcfsMalleableScheduler>();
+  if (name == "easy-malleable") return std::make_unique<EasyMalleableScheduler>();
+  if (name == "equal-share") return std::make_unique<EqualShareScheduler>();
+  if (name == "priority") return std::make_unique<PriorityScheduler>();
+  if (name == "fair-share") return std::make_unique<FairShareScheduler>();
+  return nullptr;
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"fcfs",           "easy",        "conservative", "fcfs-malleable",
+          "easy-malleable", "equal-share", "priority",     "fair-share"};
+}
+
+}  // namespace elastisim::core

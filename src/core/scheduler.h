@@ -1,0 +1,98 @@
+// Scheduling-algorithm interface.
+//
+// The batch system invokes the scheduler at *scheduling points*: job
+// submission, job completion, applied reconfigurations, walltime kills,
+// evolving requests, and (optionally) a periodic timer. The scheduler sees a
+// read-only view of the queue and the running set and issues two kinds of
+// decisions:
+//
+//   start(job, nodes)        — allocate and launch a queued job now.
+//   set_target(job, nodes)   — desired size for a running malleable job; the
+//                              batch system applies it at the job's next
+//                              phase boundary (shrink always succeeds, growth
+//                              is limited by free nodes at that moment).
+//
+// Schedulers decide *counts*; the batch system picks the concrete node ids.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace elastisim::core {
+
+struct QueuedJob {
+  const workload::Job* job;
+  /// Seconds the job has been waiting.
+  double waiting_for;
+};
+
+struct RunningJob {
+  const workload::Job* job;
+  double start_time;
+  /// Current allocation size (including a reconfiguration in progress).
+  int nodes;
+  /// Walltime-based upper bound on the remaining runtime (the estimate
+  /// backfilling relies on); never negative.
+  double estimated_remaining;
+  /// Pending resize target (equal to `nodes` when none).
+  int pending_target;
+};
+
+/// The read/decide surface handed to Scheduler::schedule(). Implemented by
+/// the batch system; decisions are validated there (starting a job twice,
+/// overallocating, or resizing a rigid job is a programming error that
+/// fails fast).
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+
+  virtual double now() const = 0;
+  virtual int total_nodes() const = 0;
+  virtual int free_nodes() const = 0;
+  /// Queued jobs in submission order.
+  virtual const std::vector<QueuedJob>& queue() const = 0;
+  /// Running jobs in start order.
+  virtual const std::vector<RunningJob>& running() const = 0;
+  /// Node-seconds the user has consumed so far (finished + accrued running);
+  /// the signal fair-share policies rank by. Unknown users report 0.
+  virtual double user_usage(const std::string& user) const = 0;
+
+  /// Starts a queued job on `nodes` nodes. Requires nodes in the job's
+  /// [min, max] range (exactly `requested` for rigid jobs) and
+  /// nodes <= free_nodes(). The view refreshes immediately.
+  virtual void start_job(workload::JobId id, int nodes) = 0;
+
+  /// Sets the desired size of a running malleable/evolving job. Clamped to
+  /// the job's range. Passing its current size clears any pending target.
+  virtual void set_target(workload::JobId id, int nodes) = 0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Invoked at every scheduling point.
+  virtual void schedule(SchedulerContext& ctx) = 0;
+
+  /// Invoked when an evolving job asks to resize by `delta` at a phase
+  /// boundary. Returning true grants the request (growth still limited by
+  /// free nodes). The default grants shrinks unconditionally and grows when
+  /// enough nodes are free.
+  virtual bool on_evolving_request(SchedulerContext& ctx, workload::JobId id, int delta);
+};
+
+/// Instantiates a scheduler by name:
+///   "fcfs", "easy", "conservative", "fcfs-malleable", "easy-malleable",
+///   "equal-share", "priority", "fair-share".
+/// Returns nullptr for unknown names.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+/// All names make_scheduler() accepts, in comparison order.
+std::vector<std::string> scheduler_names();
+
+}  // namespace elastisim::core

@@ -1,0 +1,118 @@
+// Concrete scheduling algorithms.
+//
+// Rigid baselines:
+//   FcfsScheduler                — strict first-come-first-served.
+//   EasyBackfillScheduler        — FCFS + aggressive backfilling with one
+//                                  reservation for the queue head.
+//   ConservativeBackfillScheduler— backfilling with reservations for every
+//                                  queued job (no job is ever delayed).
+//
+// Malleable-aware policies:
+//   FcfsMalleableScheduler       — FCFS + greedy resource filling: expands
+//                                  running malleable jobs into idle nodes
+//                                  while the queue is empty, shrinks them to
+//                                  admit the queue head when it is not.
+//   EasyMalleableScheduler       — EASY + the same expand/shrink filling.
+//   EqualShareScheduler          — sizes all running malleable jobs toward an
+//                                  equal share of the machine.
+#pragma once
+
+#include <functional>
+
+#include "core/scheduler.h"
+
+namespace elastisim::core {
+
+class FcfsScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "fcfs"; }
+  void schedule(SchedulerContext& ctx) override;
+};
+
+class EasyBackfillScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "easy"; }
+  void schedule(SchedulerContext& ctx) override;
+};
+
+class ConservativeBackfillScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "conservative"; }
+  void schedule(SchedulerContext& ctx) override;
+};
+
+class FcfsMalleableScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "fcfs-malleable"; }
+  void schedule(SchedulerContext& ctx) override;
+};
+
+class EasyMalleableScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "easy-malleable"; }
+  void schedule(SchedulerContext& ctx) override;
+};
+
+class EqualShareScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "equal-share"; }
+  void schedule(SchedulerContext& ctx) override;
+};
+
+/// Priority backfilling: (priority desc, submission) order with a
+/// reservation for the highest-ranked blocked job, EASY-style backfilling
+/// around it, and time-based aging against starvation (one priority level
+/// per `aging_seconds` waited).
+class PriorityScheduler final : public Scheduler {
+ public:
+  explicit PriorityScheduler(double aging_seconds = 3600.0)
+      : aging_seconds_(aging_seconds) {}
+  std::string name() const override { return "priority"; }
+  void schedule(SchedulerContext& ctx) override;
+
+ private:
+  double aging_seconds_;
+};
+
+/// Fair-share backfilling: the queue is ranked by each owner's consumed
+/// node-seconds (least-served user first), with a reservation for the
+/// blocked leader and EASY-style backfilling around it.
+class FairShareScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "fair-share"; }
+  void schedule(SchedulerContext& ctx) override;
+};
+
+namespace passes {
+
+/// Ranking function for ranked_backfill: lower key = scheduled earlier.
+using RankFn = std::function<double(const QueuedJob&)>;
+
+/// Rank-ordered backfilling skeleton: start in rank order, reserve for the
+/// blocked leader, backfill lower-ranked jobs that cannot delay it.
+void ranked_backfill(SchedulerContext& ctx, const RankFn& rank);
+
+/// Largest size `job` may start at with `free` nodes available, preferring
+/// its requested size; -1 when it cannot start. Rigid jobs only ever start
+/// at their requested size.
+int feasible_start_size(const workload::Job& job, int free);
+
+/// Starts queued jobs in FCFS order until the head no longer fits.
+void fcfs_start(SchedulerContext& ctx);
+
+/// One EASY backfilling round: reserve for the head, start any later job
+/// that fits now without pushing the reservation. Returns true if a job was
+/// started (callers loop until quiescent).
+bool easy_backfill_round(SchedulerContext& ctx);
+
+/// Expands running malleable jobs round-robin into idle nodes (only
+/// meaningful when the queue is empty).
+void expand_into_idle(SchedulerContext& ctx);
+
+/// Requests shrinks of running malleable jobs (largest first, down to their
+/// minimum) until the pending shrinkage could admit the queue head.
+void shrink_to_admit_head(SchedulerContext& ctx);
+
+}  // namespace passes
+
+}  // namespace elastisim::core

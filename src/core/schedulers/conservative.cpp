@@ -1,0 +1,107 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "core/schedulers.h"
+
+namespace elastisim::core {
+
+namespace {
+
+/// Step function of free nodes over future time, supporting "find earliest
+/// slot" and "reserve" operations. Times are absolute; the horizon beyond
+/// the last breakpoint has the last recorded level.
+class FreeProfile {
+ public:
+  FreeProfile(double now, int free) { steps_[now] = free; }
+
+  /// Subtracts `nodes` over [begin, begin + duration).
+  void reserve(double begin, double duration, int nodes) {
+    const double end = duration >= kForever ? kForever : begin + duration;
+    ensure_breakpoint(begin);
+    if (end < kForever) ensure_breakpoint(end);
+    for (auto it = steps_.lower_bound(begin); it != steps_.end() && it->first < end; ++it) {
+      it->second -= nodes;
+    }
+  }
+
+  /// Earliest time >= from at which `nodes` stay free for `duration`.
+  double earliest_fit(double from, double duration, int nodes) const {
+    ensure_breakpoint(from);
+    for (auto it = steps_.lower_bound(from); it != steps_.end(); ++it) {
+      if (it->second < nodes) continue;
+      const double begin = it->first;
+      const double end = duration >= kForever ? kForever : begin + duration;
+      bool ok = true;
+      for (auto scan = it; scan != steps_.end() && scan->first < end; ++scan) {
+        if (scan->second < nodes) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return begin;
+    }
+    return kForever;  // cannot happen with a sane profile (tail level = all free)
+  }
+
+  /// Adds `nodes` back at `time` for the rest of the horizon.
+  void release_at(double time, int nodes) {
+    ensure_breakpoint(time);
+    for (auto it = steps_.lower_bound(time); it != steps_.end(); ++it) {
+      it->second += nodes;
+    }
+  }
+
+  static constexpr double kForever = 1e18;
+
+ private:
+  void ensure_breakpoint(double time) const {
+    auto it = steps_.upper_bound(time);
+    if (it == steps_.begin()) {
+      steps_[time] = 0;  // before the first breakpoint: defensive, unused
+      return;
+    }
+    --it;
+    if (it->first != time) steps_[time] = it->second;
+  }
+
+  mutable std::map<double, int> steps_;
+};
+
+}  // namespace
+
+void ConservativeBackfillScheduler::schedule(SchedulerContext& ctx) {
+  // Rebuild the reservation schedule from scratch at every invocation
+  // (stateless conservative backfilling): running jobs occupy the profile
+  // until their estimated completion; queued jobs are placed in submission
+  // order at the earliest gap, and any job whose gap begins *now* starts.
+  bool started = true;
+  while (started) {
+    started = false;
+    FreeProfile profile(ctx.now(), ctx.total_nodes());
+    for (const RunningJob& running : ctx.running()) {
+      profile.reserve(ctx.now(),
+                      std::isfinite(running.estimated_remaining)
+                          ? running.estimated_remaining
+                          : FreeProfile::kForever,
+                      running.nodes);
+    }
+    for (const QueuedJob& queued : ctx.queue()) {
+      const workload::Job& job = *queued.job;
+      const int size = std::min(job.requested_nodes, ctx.total_nodes());
+      const double duration =
+          std::isfinite(job.walltime_limit) ? job.walltime_limit : FreeProfile::kForever;
+      const double begin = profile.earliest_fit(ctx.now(), duration, size);
+      if (begin <= ctx.now() && size <= ctx.free_nodes()) {
+        ctx.start_job(job.id, size);
+        started = true;  // profile is stale; rebuild
+        break;
+      }
+      profile.reserve(begin, duration, size);
+    }
+  }
+}
+
+}  // namespace elastisim::core

@@ -1,0 +1,31 @@
+#include <algorithm>
+
+#include "core/schedulers.h"
+
+namespace elastisim::core {
+
+namespace passes {
+
+int feasible_start_size(const workload::Job& job, int free) {
+  if (job.type == workload::JobType::kRigid) {
+    return job.requested_nodes <= free ? job.requested_nodes : -1;
+  }
+  if (free < job.min_nodes) return -1;
+  return std::min(job.requested_nodes, std::min(free, job.max_nodes));
+}
+
+void fcfs_start(SchedulerContext& ctx) {
+  // The queue view refreshes after every start, so always look at index 0.
+  while (!ctx.queue().empty()) {
+    const QueuedJob& head = ctx.queue().front();
+    const int size = feasible_start_size(*head.job, ctx.free_nodes());
+    if (size < 0) return;
+    ctx.start_job(head.job->id, size);
+  }
+}
+
+}  // namespace passes
+
+void FcfsScheduler::schedule(SchedulerContext& ctx) { passes::fcfs_start(ctx); }
+
+}  // namespace elastisim::core

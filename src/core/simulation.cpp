@@ -1,0 +1,38 @@
+#include "core/simulation.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "util/fmt.h"
+
+namespace elastisim::core {
+
+SimulationResult run_simulation(const SimulationConfig& config,
+                                std::vector<workload::Job> jobs) {
+  auto scheduler = make_scheduler(config.scheduler);
+  if (!scheduler) {
+    throw std::runtime_error(util::fmt("unknown scheduler \"{}\"", config.scheduler));
+  }
+
+  SimulationResult result;
+  sim::Engine engine;
+  platform::Cluster cluster(engine, config.platform);
+  BatchSystem batch(engine, cluster, std::move(scheduler), result.recorder, config.batch);
+
+  result.submitted = batch.submit_all(std::move(jobs));
+
+  const auto wall_begin = std::chrono::steady_clock::now();
+  engine.run();
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  result.finished = batch.finished_jobs();
+  result.killed = batch.killed_jobs();
+  result.stuck = batch.queued_jobs() + batch.running_jobs();
+  result.makespan = result.recorder.makespan();
+  result.wall_seconds = std::chrono::duration<double>(wall_end - wall_begin).count();
+  result.events_processed = engine.events_processed();
+  result.rebalances = engine.fluid().rebalance_count();
+  return result;
+}
+
+}  // namespace elastisim::core

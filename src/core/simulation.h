@@ -1,0 +1,43 @@
+// One-call facade: wire up engine + cluster + batch system + recorder, run a
+// workload to completion, and return the metrics. This is the entry point
+// the examples and benchmark harnesses use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/batch_system.h"
+#include "platform/cluster.h"
+#include "stats/metrics.h"
+#include "workload/job.h"
+
+namespace elastisim::core {
+
+struct SimulationConfig {
+  platform::ClusterConfig platform;
+  BatchConfig batch;
+  /// A make_scheduler() name.
+  std::string scheduler = "fcfs";
+};
+
+struct SimulationResult {
+  stats::Recorder recorder;
+  std::size_t submitted = 0;
+  std::size_t finished = 0;
+  std::size_t killed = 0;
+  /// Jobs still queued or running when the event queue drained (starvation /
+  /// misconfiguration indicator; 0 in a healthy run).
+  std::size_t stuck = 0;
+  double makespan = 0.0;
+  /// Host-side cost of the simulation, for the performance experiments.
+  double wall_seconds = 0.0;
+  std::uint64_t events_processed = 0;
+  std::uint64_t rebalances = 0;
+};
+
+/// Runs `jobs` on the configured platform under the configured scheduler.
+/// Throws std::runtime_error for an unknown scheduler name.
+SimulationResult run_simulation(const SimulationConfig& config, std::vector<workload::Job> jobs);
+
+}  // namespace elastisim::core

@@ -1,0 +1,105 @@
+#include "platform/loader.h"
+
+#include "util/fmt.h"
+#include <stdexcept>
+
+#include "util/units.h"
+
+namespace elastisim::platform {
+
+namespace {
+
+using util::parse_bandwidth;
+using util::parse_bytes;
+using util::parse_flops;
+
+using UnitParser = std::optional<double> (*)(std::string_view);
+
+/// Reads a quantity member that may be a bare number or a unit string.
+double quantity(const json::Value& object, std::string_view key, double fallback,
+                UnitParser parser) {
+  const json::Value* member = object.find(key);
+  if (!member) return fallback;
+  if (member->is_number()) return member->as_double();
+  if (member->is_string()) {
+    if (auto parsed = parser(member->as_string())) return *parsed;
+    throw std::runtime_error(
+        util::fmt("platform field '{}': cannot parse quantity \"{}\"", key,
+                    member->as_string()));
+  }
+  throw std::runtime_error(util::fmt("platform field '{}': expected number or string", key));
+}
+
+}  // namespace
+
+ClusterConfig parse_cluster_config(const json::Value& value) {
+  if (!value.is_object()) throw std::runtime_error("platform description must be a JSON object");
+  ClusterConfig config;
+
+  const std::string topology = value.member_or("topology", "star");
+  if (auto kind = topology_from_string(topology)) {
+    config.topology = *kind;
+  } else {
+    throw std::runtime_error(util::fmt("unknown topology \"{}\"", topology));
+  }
+
+  config.node_count =
+      static_cast<std::size_t>(value.member_or("nodes", static_cast<std::int64_t>(16)));
+  if (config.node_count == 0) throw std::runtime_error("platform: 'nodes' must be positive");
+  config.cores_per_node =
+      static_cast<int>(value.member_or("cores_per_node", static_cast<std::int64_t>(48)));
+  if (config.cores_per_node <= 0) {
+    throw std::runtime_error("platform: 'cores_per_node' must be positive");
+  }
+  config.flops_per_core = quantity(value, "flops_per_core", 1e9, parse_flops);
+  config.gpus_per_node =
+      static_cast<int>(value.member_or("gpus_per_node", std::int64_t{0}));
+  if (config.gpus_per_node < 0) {
+    throw std::runtime_error("platform: 'gpus_per_node' must be non-negative");
+  }
+  config.flops_per_gpu = quantity(value, "flops_per_gpu", 0.0, parse_flops);
+  config.memory_bytes = quantity(value, "memory", 0.0, parse_bytes);
+  config.link_bandwidth = quantity(value, "link_bandwidth", 12.5e9, parse_bandwidth);
+  config.link_latency = quantity(value, "link_latency", 0.0, util::parse_duration);
+  config.backbone_bandwidth = quantity(value, "backbone_bandwidth", 0.0, parse_bandwidth);
+  config.pod_size =
+      static_cast<std::size_t>(value.member_or("pod_size", static_cast<std::int64_t>(16)));
+  if (config.pod_size == 0) throw std::runtime_error("platform: 'pod_size' must be positive");
+  config.pod_bandwidth = quantity(value, "pod_bandwidth", 50e9, parse_bandwidth);
+  config.burst_buffer_bandwidth =
+      quantity(value, "burst_buffer_bandwidth", 0.0, parse_bandwidth);
+
+  if (const json::Value* pfs = value.find("pfs")) {
+    config.pfs.read_bandwidth = quantity(*pfs, "read_bandwidth", 0.0, parse_bandwidth);
+    config.pfs.write_bandwidth = quantity(*pfs, "write_bandwidth", 0.0, parse_bandwidth);
+  }
+  return config;
+}
+
+ClusterConfig load_cluster_config(const std::string& path) {
+  return parse_cluster_config(json::parse_file(path));
+}
+
+json::Value cluster_config_to_json(const ClusterConfig& config) {
+  json::Object out;
+  out["topology"] = to_string(config.topology);
+  out["nodes"] = config.node_count;
+  out["cores_per_node"] = config.cores_per_node;
+  out["flops_per_core"] = config.flops_per_core;
+  out["gpus_per_node"] = config.gpus_per_node;
+  out["flops_per_gpu"] = config.flops_per_gpu;
+  out["memory"] = config.memory_bytes;
+  out["link_bandwidth"] = config.link_bandwidth;
+  out["link_latency"] = config.link_latency;
+  out["backbone_bandwidth"] = config.backbone_bandwidth;
+  out["pod_size"] = config.pod_size;
+  out["pod_bandwidth"] = config.pod_bandwidth;
+  out["burst_buffer_bandwidth"] = config.burst_buffer_bandwidth;
+  json::Object pfs;
+  pfs["read_bandwidth"] = config.pfs.read_bandwidth;
+  pfs["write_bandwidth"] = config.pfs.write_bandwidth;
+  out["pfs"] = json::Value(std::move(pfs));
+  return json::Value(std::move(out));
+}
+
+}  // namespace elastisim::platform

@@ -1,0 +1,43 @@
+#include "sim/engine.h"
+
+#include <cassert>
+
+namespace elastisim::sim {
+
+Engine::Engine() : fluid_(std::make_unique<FluidModel>(*this)) {}
+
+EventId Engine::schedule_at(SimTime when, EventQueue::Callback callback) {
+  if (when < now_) when = now_;
+  return queue_.push(when, std::move(callback));
+}
+
+EventId Engine::schedule_in(SimTime delay, EventQueue::Callback callback) {
+  assert(delay >= 0.0 && "negative delay");
+  return schedule_at(now_ + delay, std::move(callback));
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto [time, callback] = queue_.pop();
+  assert(time + kTimeEpsilon >= now_ && "event queue returned an event in the past");
+  if (time > now_) now_ = time;
+  ++events_processed_;
+  callback();
+  return true;
+}
+
+SimTime Engine::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace elastisim::sim

@@ -1,0 +1,64 @@
+// Discrete-event simulation engine: clock, event loop, and fluid model.
+//
+// Single-threaded and deterministic: events at equal times fire in the order
+// they were scheduled. The engine owns the FluidModel; activity completions
+// are ordinary events, so user callbacks observe a consistent clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/fluid.h"
+#include "sim/time.h"
+
+namespace elastisim::sim {
+
+class Engine {
+ public:
+  Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedules a callback at absolute time `when` (>= now, clamped to now
+  /// otherwise: an event can never fire in the past).
+  EventId schedule_at(SimTime when, EventQueue::Callback callback);
+
+  /// Schedules a callback `delay` seconds from now (delay >= 0).
+  EventId schedule_in(SimTime delay, EventQueue::Callback callback);
+
+  /// Cancels a pending event; no-op if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until no events remain. Returns the final simulated time.
+  SimTime run();
+
+  /// Runs until the clock would pass `deadline`; events at exactly
+  /// `deadline` are processed. Returns the final simulated time.
+  SimTime run_until(SimTime deadline);
+
+  /// Processes exactly one event. Returns false if none remain.
+  bool step();
+
+  /// Number of events processed so far (for performance benches).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Number of live pending events.
+  std::size_t pending_events() const { return queue_.size(); }
+
+  FluidModel& fluid() { return *fluid_; }
+  const FluidModel& fluid() const { return *fluid_; }
+
+ private:
+  SimTime now_ = 0.0;
+  EventQueue queue_;
+  std::unique_ptr<FluidModel> fluid_;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace elastisim::sim

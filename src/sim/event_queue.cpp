@@ -1,0 +1,46 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace elastisim::sim {
+
+EventId EventQueue::push(SimTime when, Callback callback) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(callback));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty() && !callbacks_.count(heap_.top().id)) heap_.pop();
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled();
+  if (heap_.empty()) return kTimeInfinity;
+  return heap_.top().time;
+}
+
+std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
+  drop_cancelled();
+  assert(!heap_.empty() && "pop() on empty event queue");
+  const Entry entry = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(entry.id);
+  Callback callback = std::move(it->second);
+  callbacks_.erase(it);
+  --live_count_;
+  return {entry.time, std::move(callback)};
+}
+
+}  // namespace elastisim::sim

@@ -1,0 +1,69 @@
+// Time-ordered event queue with stable FIFO tie-breaking and O(log n)
+// cancellation via lazy deletion.
+//
+// Events scheduled for the same instant fire in scheduling order, which makes
+// simulations deterministic regardless of heap internals. Cancelled events
+// stay in the heap but are skipped on pop; the callback is released at cancel
+// time so captured resources are freed promptly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace elastisim::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Enqueues a callback at absolute time `when`. Returns a handle usable
+  /// with cancel(). `when` may equal the current simulation time.
+  EventId push(SimTime when, Callback callback);
+
+  /// Cancels a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op. Returns true if the event was
+  /// still pending.
+  bool cancel(EventId id);
+
+  /// True if no live events remain.
+  bool empty() const { return live_count_ == 0; }
+
+  /// Number of live (non-cancelled, non-fired) events.
+  std::size_t size() const { return live_count_; }
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  SimTime next_time();
+
+  /// Removes and returns the earliest live event's callback, along with its
+  /// time. Requires !empty().
+  std::pair<SimTime, Callback> pop();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    EventId id;
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> heap_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace elastisim::sim

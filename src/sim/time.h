@@ -1,0 +1,22 @@
+// Simulation time base.
+//
+// Simulated time is a double in seconds since simulation start. The epsilon
+// below bounds the rounding error we tolerate when comparing times or
+// remaining work; the fluid model re-derives completion instants from rates,
+// so exact equality is never required.
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace elastisim::sim {
+
+using SimTime = double;
+
+inline constexpr SimTime kTimeEpsilon = 1e-9;
+inline constexpr double kWorkEpsilon = 1e-6;
+inline constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::infinity();
+
+inline bool time_close(SimTime a, SimTime b) noexcept { return std::abs(a - b) <= kTimeEpsilon; }
+
+}  // namespace elastisim::sim

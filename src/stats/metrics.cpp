@@ -1,0 +1,266 @@
+#include "stats/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+#include "util/csv.h"
+
+namespace elastisim::stats {
+
+double JobRecord::bounded_slowdown(double tau) const {
+  if (!finished() || !started()) return -1.0;
+  const double denom = std::max(runtime(), tau);
+  return std::max(1.0, turnaround() / denom);
+}
+
+JobRecord& Recorder::record_for(workload::JobId id) {
+  auto it = index_.find(id);
+  assert(it != index_.end() && "job event for unknown job (missed on_submit)");
+  return records_[it->second];
+}
+
+void Recorder::on_submit(const workload::Job& job, double time) {
+  assert(!index_.count(job.id) && "duplicate submit");
+  JobRecord record;
+  record.id = job.id;
+  record.type = job.type;
+  record.name = job.name;
+  record.user = job.user;
+  record.submit_time = time;
+  index_[job.id] = records_.size();
+  records_.push_back(std::move(record));
+}
+
+void Recorder::change_allocation(double time, int delta) {
+  allocated_now_ += delta;
+  assert(allocated_now_ >= 0);
+  if (!timeline_.empty() && timeline_.back().time == time) {
+    timeline_.back().allocated_nodes = allocated_now_;
+  } else {
+    timeline_.push_back({time, allocated_now_});
+  }
+}
+
+void Recorder::accrue(workload::JobId id, double time) {
+  auto it = running_.find(id);
+  assert(it != running_.end());
+  record_for(id).node_seconds += it->second.nodes * (time - it->second.since);
+  it->second.since = time;
+}
+
+void Recorder::on_start(workload::JobId id, double time, int nodes) {
+  JobRecord& record = record_for(id);
+  assert(!running_.count(id) && "job started while already running");
+  if (!record.started()) {
+    record.start_time = time;
+    record.initial_nodes = nodes;
+  }
+  record.final_nodes = nodes;
+  running_[id] = Running{nodes, time};
+  change_allocation(time, nodes);
+}
+
+void Recorder::on_requeue(workload::JobId id, double time) {
+  accrue(id, time);
+  JobRecord& record = record_for(id);
+  ++record.requeues;
+  change_allocation(time, -running_.at(id).nodes);
+  running_.erase(id);
+}
+
+void Recorder::on_resize(workload::JobId id, double time, int new_nodes) {
+  accrue(id, time);
+  JobRecord& record = record_for(id);
+  Running& running = running_.at(id);
+  if (new_nodes > running.nodes) {
+    ++record.expansions;
+  } else if (new_nodes < running.nodes) {
+    ++record.shrinks;
+  }
+  change_allocation(time, new_nodes - running.nodes);
+  running.nodes = new_nodes;
+  record.final_nodes = new_nodes;
+}
+
+void Recorder::on_evolving_request(workload::JobId id, bool granted) {
+  JobRecord& record = record_for(id);
+  ++record.evolving_requests;
+  if (granted) ++record.evolving_granted;
+}
+
+void Recorder::on_finish(workload::JobId id, double time, bool killed) {
+  accrue(id, time);
+  JobRecord& record = record_for(id);
+  record.end_time = time;
+  record.killed = killed;
+  change_allocation(time, -running_.at(id).nodes);
+  running_.erase(id);
+}
+
+void Recorder::on_cancel(workload::JobId id, double time) {
+  JobRecord& record = record_for(id);
+  assert(!running_.count(id) && "cancel on a running job (use on_finish)");
+  record.end_time = time;
+  record.cancelled = true;
+}
+
+std::size_t Recorder::finished_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [](const JobRecord& r) { return r.finished(); }));
+}
+
+std::size_t Recorder::killed_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      records_.begin(), records_.end(), [](const JobRecord& r) { return r.killed; }));
+}
+
+double Recorder::makespan() const {
+  double last = 0.0;
+  for (const JobRecord& record : records_) {
+    if (record.finished()) last = std::max(last, record.end_time);
+  }
+  return last;
+}
+
+namespace {
+template <typename Fn>
+double mean_over_finished(const std::vector<JobRecord>& records, Fn&& value) {
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (const JobRecord& record : records) {
+    if (!record.finished()) continue;
+    sum += value(record);
+    ++count;
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+}  // namespace
+
+double Recorder::mean_wait() const {
+  return mean_over_finished(records_, [](const JobRecord& r) { return r.wait_time(); });
+}
+
+double Recorder::median_wait() const {
+  std::vector<double> waits;
+  for (const JobRecord& record : records_) {
+    if (record.finished()) waits.push_back(record.wait_time());
+  }
+  if (waits.empty()) return 0.0;
+  const std::size_t mid = waits.size() / 2;
+  std::nth_element(waits.begin(), waits.begin() + mid, waits.end());
+  return waits[mid];
+}
+
+double Recorder::wait_percentile(double p) const {
+  assert(p >= 0.0 && p <= 1.0);
+  std::vector<double> waits;
+  for (const JobRecord& record : records_) {
+    if (record.finished()) waits.push_back(record.wait_time());
+  }
+  if (waits.empty()) return 0.0;
+  std::sort(waits.begin(), waits.end());
+  const auto index = static_cast<std::size_t>(p * static_cast<double>(waits.size() - 1));
+  return waits[index];
+}
+
+double Recorder::max_wait() const {
+  double worst = 0.0;
+  for (const JobRecord& record : records_) {
+    if (record.finished()) worst = std::max(worst, record.wait_time());
+  }
+  return worst;
+}
+
+double Recorder::mean_turnaround() const {
+  return mean_over_finished(records_, [](const JobRecord& r) { return r.turnaround(); });
+}
+
+double Recorder::mean_bounded_slowdown(double tau) const {
+  return mean_over_finished(records_,
+                            [tau](const JobRecord& r) { return r.bounded_slowdown(tau); });
+}
+
+int Recorder::total_expansions() const {
+  int total = 0;
+  for (const JobRecord& record : records_) total += record.expansions;
+  return total;
+}
+
+int Recorder::total_shrinks() const {
+  int total = 0;
+  for (const JobRecord& record : records_) total += record.shrinks;
+  return total;
+}
+
+double Recorder::average_utilization() const {
+  const double span = makespan();
+  if (span <= 0.0 || total_nodes_ <= 0) return 0.0;
+  double node_seconds = 0.0;
+  for (const JobRecord& record : records_) node_seconds += record.node_seconds;
+  return node_seconds / (span * total_nodes_);
+}
+
+std::vector<double> Recorder::utilization_buckets(double bucket_seconds) const {
+  std::vector<double> buckets;
+  const double span = makespan();
+  if (span <= 0.0 || total_nodes_ <= 0 || bucket_seconds <= 0.0 || timeline_.empty()) {
+    return buckets;
+  }
+  buckets.assign(static_cast<std::size_t>(std::ceil(span / bucket_seconds)), 0.0);
+  // Integrate the step function into the buckets.
+  for (std::size_t i = 0; i < timeline_.size(); ++i) {
+    const double begin = timeline_[i].time;
+    const double end = i + 1 < timeline_.size() ? timeline_[i + 1].time : span;
+    const int level = timeline_[i].allocated_nodes;
+    double cursor = begin;
+    while (cursor < end) {
+      const auto bucket = static_cast<std::size_t>(cursor / bucket_seconds);
+      if (bucket >= buckets.size()) break;
+      const double bucket_end = static_cast<double>(bucket + 1) * bucket_seconds;
+      const double slice = std::min(end, bucket_end) - cursor;
+      buckets[bucket] += slice * level;
+      cursor += slice;
+    }
+  }
+  for (double& value : buckets) value /= bucket_seconds * total_nodes_;
+  return buckets;
+}
+
+std::map<std::string, double> Recorder::node_seconds_by_user(double now) const {
+  std::map<std::string, double> usage;
+  for (const JobRecord& record : records_) usage[record.user] += record.node_seconds;
+  for (const auto& [id, running] : running_) {
+    const JobRecord& record = records_[index_.at(id)];
+    usage[record.user] += running.nodes * (now - running.since);
+  }
+  return usage;
+}
+
+void Recorder::write_jobs_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.typed_row("id", "name", "user", "type", "submit", "start", "end", "wait", "turnaround",
+                "bounded_slowdown", "initial_nodes", "final_nodes", "expansions", "shrinks",
+                "evolving_requests", "evolving_granted", "requeues", "node_seconds",
+                "killed", "cancelled");
+  for (const JobRecord& record : records_) {
+    csv.typed_row(record.id, record.name, record.user, workload::to_string(record.type), record.submit_time,
+                  record.start_time, record.end_time, record.wait_time(), record.turnaround(),
+                  record.bounded_slowdown(), record.initial_nodes, record.final_nodes,
+                  record.expansions, record.shrinks, record.evolving_requests,
+                  record.evolving_granted, record.requeues, record.node_seconds,
+                  record.killed ? "true" : "false", record.cancelled ? "true" : "false");
+  }
+}
+
+void Recorder::write_timeline_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.typed_row("time", "allocated_nodes");
+  for (const UtilizationPoint& point : timeline_) {
+    csv.typed_row(point.time, point.allocated_nodes);
+  }
+}
+
+}  // namespace elastisim::stats

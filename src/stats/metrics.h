@@ -1,0 +1,124 @@
+// Metrics collection: per-job records, cluster utilization timeline, and the
+// summary statistics the evaluation reports (makespan, waits, turnaround,
+// bounded slowdown, reconfiguration counts).
+//
+// The batch system drives a Recorder through the on_* hooks; benches and
+// examples read the aggregates afterwards. All times are simulation seconds.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace elastisim::stats {
+
+struct JobRecord {
+  workload::JobId id = 0;
+  workload::JobType type = workload::JobType::kRigid;
+  std::string name;
+  std::string user;
+  double submit_time = 0.0;
+  double start_time = -1.0;  // -1 = never started
+  double end_time = -1.0;    // -1 = never finished
+  bool killed = false;       // terminated by walltime limit
+  bool cancelled = false;    // dependency failed before the job ever ran
+  int initial_nodes = 0;
+  int final_nodes = 0;
+  int expansions = 0;
+  int shrinks = 0;
+  int evolving_requests = 0;
+  int evolving_granted = 0;
+  /// Times the job lost its nodes (failure) and re-entered the queue.
+  int requeues = 0;
+  double node_seconds = 0.0;  // integral of allocation size over runtime
+
+  bool started() const { return start_time >= 0.0; }
+  bool finished() const { return end_time >= 0.0; }
+  double wait_time() const { return started() ? start_time - submit_time : -1.0; }
+  double turnaround() const { return finished() ? end_time - submit_time : -1.0; }
+  double runtime() const { return finished() && started() ? end_time - start_time : -1.0; }
+  /// Bounded slowdown with threshold tau (seconds): max(1, turnaround /
+  /// max(runtime, tau)). The standard metric for short-job fairness.
+  double bounded_slowdown(double tau = 10.0) const;
+};
+
+/// One step of the cluster-wide allocated-node-count step function.
+struct UtilizationPoint {
+  double time;
+  int allocated_nodes;
+};
+
+class Recorder {
+ public:
+  void on_submit(const workload::Job& job, double time);
+  /// First call sets start_time/initial_nodes; later calls are restarts
+  /// after a requeue and leave the original start in place.
+  void on_start(workload::JobId id, double time, int nodes);
+  /// Job lost its allocation (node failure) and went back to the queue.
+  void on_requeue(workload::JobId id, double time);
+  /// `granted_evolving` distinguishes scheduler-initiated resizes from
+  /// application (evolving) requests for the request/grant counters.
+  void on_resize(workload::JobId id, double time, int new_nodes);
+  void on_evolving_request(workload::JobId id, bool granted);
+  void on_finish(workload::JobId id, double time, bool killed);
+  /// Job removed before ever starting (failed dependency).
+  void on_cancel(workload::JobId id, double time);
+
+  /// Total nodes in the cluster; needed for utilization percentages.
+  void set_total_nodes(int nodes) { total_nodes_ = nodes; }
+  int total_nodes() const { return total_nodes_; }
+
+  const std::vector<JobRecord>& records() const { return records_; }
+  const std::vector<UtilizationPoint>& timeline() const { return timeline_; }
+
+  // --- Aggregates (over finished jobs unless stated otherwise) ------------
+  std::size_t finished_count() const;
+  std::size_t killed_count() const;
+  /// Last finish time (0 when nothing finished).
+  double makespan() const;
+  double mean_wait() const;
+  double median_wait() const;
+  double max_wait() const;
+  /// Wait-time percentile over finished jobs, p in [0, 1] (0.9 = p90).
+  double wait_percentile(double p) const;
+  double mean_turnaround() const;
+  double mean_bounded_slowdown(double tau = 10.0) const;
+  int total_expansions() const;
+  int total_shrinks() const;
+  /// Node-seconds used by jobs divided by (makespan * total_nodes).
+  double average_utilization() const;
+  /// Mean allocated-node fraction inside [t, t + bucket) windows covering
+  /// [0, makespan); for utilization-over-time plots.
+  std::vector<double> utilization_buckets(double bucket_seconds) const;
+
+  /// Node-seconds consumed per user up to `now` (finished work plus the
+  /// accrued share of still-running allocations). Basis for fair-share
+  /// scheduling and per-user reports.
+  std::map<std::string, double> node_seconds_by_user(double now) const;
+
+  // --- Output --------------------------------------------------------------
+  void write_jobs_csv(std::ostream& out) const;
+  void write_timeline_csv(std::ostream& out) const;
+
+ private:
+  JobRecord& record_for(workload::JobId id);
+  void change_allocation(double time, int delta);
+  void accrue(workload::JobId id, double time);
+
+  std::vector<JobRecord> records_;
+  std::map<workload::JobId, std::size_t> index_;
+  // Running jobs: current size and the time of the last size change.
+  struct Running {
+    int nodes;
+    double since;
+  };
+  std::map<workload::JobId, Running> running_;
+  std::vector<UtilizationPoint> timeline_;
+  int allocated_now_ = 0;
+  int total_nodes_ = 0;
+};
+
+}  // namespace elastisim::stats

@@ -1,0 +1,47 @@
+#include "stats/trace.h"
+
+#include <ostream>
+
+#include "util/csv.h"
+
+namespace elastisim::stats {
+
+std::string to_string(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kSubmit: return "submit";
+    case TraceEvent::kStart: return "start";
+    case TraceEvent::kExpand: return "expand";
+    case TraceEvent::kShrink: return "shrink";
+    case TraceEvent::kEvolvingRequest: return "evolving-request";
+    case TraceEvent::kFinish: return "finish";
+    case TraceEvent::kWalltimeKill: return "walltime-kill";
+    case TraceEvent::kRequeue: return "requeue";
+    case TraceEvent::kCancel: return "cancel";
+    case TraceEvent::kNodeFail: return "node-fail";
+    case TraceEvent::kNodeRestore: return "node-restore";
+  }
+  return "?";
+}
+
+void EventTrace::record(double time, TraceEvent event, workload::JobId job,
+                        std::string detail) {
+  entries_.push_back(TraceEntry{time, event, job, std::move(detail)});
+}
+
+std::vector<TraceEntry> EventTrace::filtered(TraceEvent event) const {
+  std::vector<TraceEntry> out;
+  for (const TraceEntry& entry : entries_) {
+    if (entry.event == event) out.push_back(entry);
+  }
+  return out;
+}
+
+void EventTrace::write_csv(std::ostream& out) const {
+  util::CsvWriter csv(out);
+  csv.typed_row("time", "event", "job", "detail");
+  for (const TraceEntry& entry : entries_) {
+    csv.typed_row(entry.time, to_string(entry.event), entry.job, entry.detail);
+  }
+}
+
+}  // namespace elastisim::stats

@@ -1,0 +1,63 @@
+// Chronological event trace of a simulation run.
+//
+// Where the Recorder keeps aggregated per-job records, the EventTrace keeps
+// the raw sequence of batch-system events — the artifact you diff when two
+// runs diverge, feed to external visualizers, or grep while debugging a
+// scheduling policy. Attached to a BatchSystem via set_event_trace(); has no
+// cost when absent.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace elastisim::stats {
+
+enum class TraceEvent {
+  kSubmit,
+  kStart,
+  kExpand,
+  kShrink,
+  kEvolvingRequest,
+  kFinish,
+  kWalltimeKill,
+  kRequeue,
+  kCancel,
+  kNodeFail,
+  kNodeRestore,
+};
+
+std::string to_string(TraceEvent event);
+
+struct TraceEntry {
+  double time;
+  TraceEvent event;
+  /// Job the event concerns; 0 for node-level events.
+  workload::JobId job;
+  /// Event-specific detail: node counts ("16->32"), request deltas ("+8
+  /// granted"), or node ids.
+  std::string detail;
+};
+
+class EventTrace {
+ public:
+  void record(double time, TraceEvent event, workload::JobId job, std::string detail = "");
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries of one kind, in order.
+  std::vector<TraceEntry> filtered(TraceEvent event) const;
+
+  /// "time,event,job,detail" rows.
+  void write_csv(std::ostream& out) const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace elastisim::stats

@@ -1,0 +1,72 @@
+#include "util/csv.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace elastisim::util {
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string CsvWriter::to_field(double v) {
+  char buffer[64];
+  auto [ptr, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  if (ec != std::errc{}) return "nan";
+  return std::string(buffer, ptr);
+}
+
+std::string CsvWriter::to_field(long long v) { return std::to_string(v); }
+std::string CsvWriter::to_field(unsigned long long v) { return std::to_string(v); }
+
+std::vector<std::string> split_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c == '\r') {
+      // Tolerate CRLF line endings.
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace elastisim::util

@@ -1,0 +1,54 @@
+// Minimal CSV writer used by the stats module and the benchmark harnesses.
+//
+// Handles quoting per RFC 4180 (fields containing commas, quotes, or
+// newlines are quoted, embedded quotes doubled). Numeric columns are written
+// with enough precision to round-trip doubles.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace elastisim::util {
+
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row. Begins a new line after the row.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: builds a row from heterogeneous printable values.
+  template <typename... Ts>
+  void typed_row(const Ts&... values) {
+    std::vector<std::string> fields;
+    fields.reserve(sizeof...(values));
+    (fields.push_back(to_field(values)), ...);
+    row(fields);
+  }
+
+  static std::string escape(std::string_view field);
+  static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(const char* s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string(s); }
+  static std::string to_field(double v);
+  static std::string to_field(long long v);
+  static std::string to_field(unsigned long long v);
+  static std::string to_field(int v) { return to_field(static_cast<long long>(v)); }
+  static std::string to_field(long v) { return to_field(static_cast<long long>(v)); }
+  static std::string to_field(unsigned v) { return to_field(static_cast<unsigned long long>(v)); }
+  static std::string to_field(unsigned long v) {
+    return to_field(static_cast<unsigned long long>(v));
+  }
+
+ private:
+  std::ostream* out_;
+};
+
+/// Splits one CSV line into fields, honoring RFC 4180 quoting. Used by the
+/// trace readers and by tests to round-trip writer output.
+std::vector<std::string> split_csv_line(std::string_view line);
+
+}  // namespace elastisim::util

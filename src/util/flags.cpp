@@ -1,0 +1,75 @@
+#include "util/flags.h"
+
+#include <charconv>
+
+namespace elastisim::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Flags::get(const std::string& name, const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+double Flags::get(const std::string& name, double fallback) const {
+  auto value = raw(name);
+  if (!value) return fallback;
+  double out = fallback;
+  auto [ptr, ec] = std::from_chars(value->data(), value->data() + value->size(), out);
+  (void)ptr;
+  return ec == std::errc{} ? out : fallback;
+}
+
+std::int64_t Flags::get(const std::string& name, std::int64_t fallback) const {
+  auto value = raw(name);
+  if (!value) return fallback;
+  std::int64_t out = fallback;
+  auto [ptr, ec] = std::from_chars(value->data(), value->data() + value->size(), out);
+  (void)ptr;
+  return ec == std::errc{} ? out : fallback;
+}
+
+bool Flags::get(const std::string& name, bool fallback) const {
+  auto value = raw(name);
+  if (!value) return fallback;
+  return *value == "true" || *value == "1" || *value == "yes" || *value == "on";
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace elastisim::util

@@ -1,0 +1,42 @@
+// Tiny command-line flag parser for the example binaries and bench harnesses.
+//
+// Supports "--name=value", "--name value", and boolean "--name". Positional
+// arguments are collected in order. No registration step: callers query by
+// name with a default, which keeps example code short.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace elastisim::util {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  double get(const std::string& name, double fallback) const;
+  std::int64_t get(const std::string& name, std::int64_t fallback) const;
+  bool get(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+  /// Names seen on the command line but never queried; useful for catching
+  /// typos in example invocations.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace elastisim::util

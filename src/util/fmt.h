@@ -1,0 +1,75 @@
+// Minimal "{}" substitution formatting (std::format is unavailable on the
+// toolchains we target, so we provide the small subset the project needs).
+//
+// fmt("job {} on {} nodes", id, n) replaces each "{}" in order via
+// operator<<. "{{" and "}}" escape literal braces. Surplus arguments are
+// appended, missing arguments leave the placeholder visible — both are
+// programming errors but must not crash a simulation.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace elastisim::util {
+
+namespace detail {
+
+inline void append_one(std::ostringstream&) {}
+
+template <typename T>
+void append_value(std::ostringstream& out, const T& value) {
+  out << value;
+}
+
+template <typename First, typename... Rest>
+void fmt_impl(std::ostringstream& out, std::string_view& pattern, const First& first,
+              const Rest&... rest);
+
+inline void fmt_impl(std::ostringstream& out, std::string_view& pattern) {
+  // No arguments left: emit the rest of the pattern (unescaping braces).
+  while (!pattern.empty()) {
+    if (pattern.size() >= 2 && (pattern.substr(0, 2) == "{{" || pattern.substr(0, 2) == "}}")) {
+      out << pattern[0];
+      pattern.remove_prefix(2);
+    } else {
+      out << pattern[0];
+      pattern.remove_prefix(1);
+    }
+  }
+}
+
+template <typename First, typename... Rest>
+void fmt_impl(std::ostringstream& out, std::string_view& pattern, const First& first,
+              const Rest&... rest) {
+  while (!pattern.empty()) {
+    if (pattern.size() >= 2 && (pattern.substr(0, 2) == "{{" || pattern.substr(0, 2) == "}}")) {
+      out << pattern[0];
+      pattern.remove_prefix(2);
+      continue;
+    }
+    if (pattern.size() >= 2 && pattern[0] == '{' && pattern[1] == '}') {
+      pattern.remove_prefix(2);
+      append_value(out, first);
+      fmt_impl(out, pattern, rest...);
+      return;
+    }
+    out << pattern[0];
+    pattern.remove_prefix(1);
+  }
+  // Placeholders exhausted but arguments remain: append them (error-tolerant).
+  append_value(out, first);
+  fmt_impl(out, pattern, rest...);
+}
+
+}  // namespace detail
+
+template <typename... Args>
+std::string fmt(std::string_view pattern, const Args&... args) {
+  std::ostringstream out;
+  std::string_view rest = pattern;
+  detail::fmt_impl(out, rest, args...);
+  return out.str();
+}
+
+}  // namespace elastisim::util

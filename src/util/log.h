@@ -1,0 +1,44 @@
+// Lightweight leveled logging for the simulator.
+//
+// The simulator is deterministic and single-threaded, so the logger keeps no
+// locks. Log level is a process-wide setting; DEBUG/TRACE calls compile to a
+// cheap level check when disabled. Messages go to stderr so that benchmark
+// and experiment output on stdout stays machine-parsable.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <string_view>
+
+#include "util/fmt.h"
+
+namespace elastisim::util {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide log level. Defaults to kWarn so tests and benches stay quiet.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "trace", "debug", "info", "warn", "error", "off" (case-insensitive).
+/// Unknown strings yield kWarn.
+LogLevel parse_log_level(std::string_view text) noexcept;
+
+namespace detail {
+void emit(LogLevel level, std::string_view message);
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, std::string_view pattern, const Args&... args) {
+  if (level < log_level()) return;
+  detail::emit(level, fmt(pattern, args...));
+}
+
+#define ELSIM_LOG(level, ...) ::elastisim::util::log((level), __VA_ARGS__)
+#define ELSIM_TRACE(...) ELSIM_LOG(::elastisim::util::LogLevel::kTrace, __VA_ARGS__)
+#define ELSIM_DEBUG(...) ELSIM_LOG(::elastisim::util::LogLevel::kDebug, __VA_ARGS__)
+#define ELSIM_INFO(...) ELSIM_LOG(::elastisim::util::LogLevel::kInfo, __VA_ARGS__)
+#define ELSIM_WARN(...) ELSIM_LOG(::elastisim::util::LogLevel::kWarn, __VA_ARGS__)
+#define ELSIM_ERROR(...) ELSIM_LOG(::elastisim::util::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace elastisim::util

@@ -1,0 +1,120 @@
+#include "util/rng.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace elastisim::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % span);
+  std::uint64_t value;
+  do {
+    value = next_u64();
+  } while (value >= limit);
+  return lo + static_cast<std::int64_t>(value % span);
+}
+
+double Rng::exponential(double lambda) {
+  assert(lambda > 0.0);
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -std::log(1.0 - uniform()) / lambda;
+}
+
+double Rng::log_uniform(double lo, double hi) {
+  assert(lo > 0.0 && lo <= hi);
+  return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 2.0 * std::numbers::pi_v<double> * u2;
+  cached_normal_ = radius * std::sin(angle);
+  have_cached_normal_ = true;
+  return mean + stddev * radius * std::cos(angle);
+}
+
+double Rng::log_normal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::int64_t Rng::power_of_two(std::int64_t lo, std::int64_t hi) {
+  assert(lo >= 1 && lo <= hi);
+  int lo_exp = 0;
+  while ((std::int64_t{1} << lo_exp) < lo) ++lo_exp;
+  int hi_exp = lo_exp;
+  while ((std::int64_t{1} << (hi_exp + 1)) <= hi) ++hi_exp;
+  if ((std::int64_t{1} << lo_exp) > hi) return std::int64_t{1} << lo_exp;  // degenerate range
+  return std::int64_t{1} << uniform_int(lo_exp, hi_exp);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  assert(total > 0.0);
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: fall back to last index
+}
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+}  // namespace elastisim::util

@@ -1,0 +1,68 @@
+// Deterministic random-number utilities.
+//
+// All stochastic components of the simulator (workload generators, jitter in
+// synthetic applications) draw from a seeded Rng so that a given seed always
+// reproduces the same simulation, independent of platform or standard-library
+// implementation. We therefore avoid std::*_distribution (whose output is not
+// specified across implementations) and implement the few distributions we
+// need on top of a SplitMix64/xoshiro256** generator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace elastisim::util {
+
+/// xoshiro256** seeded via SplitMix64. Small, fast, reproducible everywhere.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given rate (lambda > 0); mean is 1/lambda.
+  double exponential(double lambda);
+
+  /// Log-uniform: exp(U(log lo, log hi)). Requires 0 < lo <= hi.
+  double log_uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (deterministic two-call cache).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal with parameters of the underlying normal.
+  double log_normal(double mu, double sigma);
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+  /// Uniform power of two in [lo, hi]; lo and hi need not be powers of two,
+  /// the result is one of the powers of two within the (clamped) range.
+  /// Requires 1 <= lo <= hi.
+  std::int64_t power_of_two(std::int64_t lo, std::int64_t hi);
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Requires a non-empty vector with non-negative entries and positive sum.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derives an independent child generator; useful to give each job its own
+  /// stream so that adding jobs does not perturb earlier draws.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace elastisim::util

@@ -1,0 +1,147 @@
+#include "util/units.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace elastisim::util {
+
+namespace {
+
+// Parses the leading numeric part; advances `rest` past it.
+std::optional<double> parse_number(std::string_view& rest) {
+  double value = 0.0;
+  const char* begin = rest.data();
+  const char* end = rest.data() + rest.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr == begin) return std::nullopt;
+  rest.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return value;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::optional<double> metric_multiplier(char prefix, bool binary) {
+  const double base = binary ? 1024.0 : 1000.0;
+  switch (std::toupper(static_cast<unsigned char>(prefix))) {
+    case 'K': return base;
+    case 'M': return base * base;
+    case 'G': return base * base * base;
+    case 'T': return base * base * base * base;
+    case 'P': return base * base * base * base * base;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::optional<double> parse_bytes(std::string_view text) {
+  std::string_view rest = trim(text);
+  auto value = parse_number(rest);
+  if (!value) return std::nullopt;
+  rest = trim(rest);
+  if (rest.empty()) return value;
+  const char prefix = rest.front();
+  bool binary = rest.size() >= 2 && (rest[1] == 'i' || rest[1] == 'I');
+  auto mult = metric_multiplier(prefix, binary);
+  if (!mult) {
+    if (rest == "B" || rest == "b") return value;
+    return std::nullopt;
+  }
+  rest.remove_prefix(binary ? 2 : 1);
+  if (!rest.empty() && rest != "B" && rest != "b") return std::nullopt;
+  return *value * *mult;
+}
+
+std::optional<double> parse_flops(std::string_view text) {
+  std::string_view rest = trim(text);
+  auto value = parse_number(rest);
+  if (!value) return std::nullopt;
+  rest = trim(rest);
+  if (rest.empty()) return value;
+  auto mult = metric_multiplier(rest.front(), /*binary=*/false);
+  if (!mult) {
+    if (rest == "F" || rest == "f") return value;
+    return std::nullopt;
+  }
+  rest.remove_prefix(1);
+  if (!rest.empty() && rest != "F" && rest != "f") return std::nullopt;
+  return *value * *mult;
+}
+
+std::optional<double> parse_bandwidth(std::string_view text) {
+  std::string_view rest = trim(text);
+  auto value = parse_number(rest);
+  if (!value) return std::nullopt;
+  rest = trim(rest);
+  if (rest.empty()) return value;  // already bytes/s
+  double mult = 1.0;
+  if (auto m = metric_multiplier(rest.front(), /*binary=*/false)) {
+    mult = *m;
+    rest.remove_prefix(1);
+  }
+  // Accept "Bps", "B/s", "bps", "b/s"; bits are divided by 8.
+  bool bits = false;
+  if (!rest.empty() && (rest.front() == 'b')) bits = true;
+  else if (!rest.empty() && (rest.front() == 'B')) bits = false;
+  else return std::nullopt;
+  rest.remove_prefix(1);
+  if (rest == "ps" || rest == "/s" || rest.empty()) {
+    return *value * mult / (bits ? 8.0 : 1.0);
+  }
+  return std::nullopt;
+}
+
+std::optional<double> parse_duration(std::string_view text) {
+  std::string_view rest = trim(text);
+  auto value = parse_number(rest);
+  if (!value) return std::nullopt;
+  rest = trim(rest);
+  if (rest.empty() || rest == "s") return value;
+  if (rest == "ms") return *value / 1000.0;
+  if (rest == "us") return *value / 1e6;
+  if (rest == "m" || rest == "min") return *value * 60.0;
+  if (rest == "h") return *value * 3600.0;
+  if (rest == "d") return *value * 86400.0;
+  return std::nullopt;
+}
+
+std::string format_bytes(double bytes) {
+  static constexpr const char* kSuffixes[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int index = 0;
+  double value = bytes;
+  while (std::abs(value) >= 1024.0 && index < 5) {
+    value /= 1024.0;
+    ++index;
+  }
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.2f%s", value, kSuffixes[index]);
+  return buffer;
+}
+
+std::string format_duration(double seconds) {
+  char buffer[64];
+  if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fms", seconds * 1000.0);
+    return buffer;
+  }
+  const auto total = static_cast<long long>(seconds);
+  const long long hours = total / 3600;
+  const long long minutes = (total % 3600) / 60;
+  const double secs = seconds - static_cast<double>(hours * 3600 + minutes * 60);
+  if (hours > 0) {
+    std::snprintf(buffer, sizeof(buffer), "%lldh%02lldm%02.0fs", hours, minutes, secs);
+  } else if (minutes > 0) {
+    std::snprintf(buffer, sizeof(buffer), "%lldm%04.1fs", minutes, secs);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fs", secs);
+  }
+  return buffer;
+}
+
+}  // namespace elastisim::util

@@ -1,0 +1,38 @@
+// Human-friendly unit parsing and formatting for platform/workload files.
+//
+// Quantities in configuration files are written as "2.5GF" (FLOP/s),
+// "100Gbps" or "12.5GBps" (bandwidth), "4GiB" (bytes), "30m"/"2h" (time).
+// These helpers convert between those spellings and the simulator's base
+// units: FLOPs, bytes, bytes/s, seconds.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace elastisim::util {
+
+/// Parses a byte count: plain number, or number followed by one of
+/// K/M/G/T/P (powers of 1000, optionally suffixed "B") or
+/// Ki/Mi/Gi/Ti/Pi (powers of 1024, optionally suffixed "B").
+/// Returns nullopt on malformed input.
+std::optional<double> parse_bytes(std::string_view text);
+
+/// Parses FLOP counts / FLOP rates: plain number or number followed by
+/// K/M/G/T/P and an optional "F" or "f" marker ("2.5GF", "500Mf", "1e9").
+std::optional<double> parse_flops(std::string_view text);
+
+/// Parses bandwidth: bytes-per-second forms ("12.5GBps", "100MB/s") or
+/// bit-per-second forms ("100Gbps", "10Gb/s"); returns bytes per second.
+std::optional<double> parse_bandwidth(std::string_view text);
+
+/// Parses durations: plain seconds, or suffixed "ms", "s", "m", "h", "d".
+std::optional<double> parse_duration(std::string_view text);
+
+/// Formats a byte count with a binary suffix ("3.50GiB").
+std::string format_bytes(double bytes);
+
+/// Formats seconds as "1h02m03s" style (subsecond values as "123.4ms").
+std::string format_duration(double seconds);
+
+}  // namespace elastisim::util

@@ -1,0 +1,53 @@
+#include "workload/job.h"
+
+#include <algorithm>
+
+#include "util/fmt.h"
+
+namespace elastisim::workload {
+
+std::string to_string(JobType type) {
+  switch (type) {
+    case JobType::kRigid: return "rigid";
+    case JobType::kMoldable: return "moldable";
+    case JobType::kMalleable: return "malleable";
+    case JobType::kEvolving: return "evolving";
+  }
+  return "?";
+}
+
+std::optional<JobType> job_type_from_string(std::string_view name) {
+  if (name == "rigid") return JobType::kRigid;
+  if (name == "moldable") return JobType::kMoldable;
+  if (name == "malleable") return JobType::kMalleable;
+  if (name == "evolving") return JobType::kEvolving;
+  return std::nullopt;
+}
+
+int Job::clamp_nodes(int nodes) const { return std::clamp(nodes, min_nodes, max_nodes); }
+
+std::optional<std::string> Job::validate() const {
+  if (requested_nodes < 1) return util::fmt("job {}: requested_nodes must be >= 1", id);
+  if (min_nodes < 1) return util::fmt("job {}: min_nodes must be >= 1", id);
+  if (min_nodes > max_nodes) return util::fmt("job {}: min_nodes > max_nodes", id);
+  if (type == JobType::kRigid && (min_nodes != requested_nodes || max_nodes != requested_nodes)) {
+    return util::fmt("job {}: rigid jobs need min == max == requested", id);
+  }
+  if (requested_nodes < min_nodes || requested_nodes > max_nodes) {
+    return util::fmt("job {}: requested_nodes outside [min, max]", id);
+  }
+  if (submit_time < 0.0) return util::fmt("job {}: negative submit_time", id);
+  if (application.phases.empty()) return util::fmt("job {}: application has no phases", id);
+  for (const Phase& phase : application.phases) {
+    if (phase.iterations < 1) {
+      return util::fmt("job {}: phase '{}' has non-positive iterations", id, phase.name);
+    }
+    if (phase.evolving_delta != 0 && type != JobType::kEvolving) {
+      return util::fmt("job {}: evolving_delta on non-evolving job", id);
+    }
+  }
+  if (walltime_limit <= 0.0) return util::fmt("job {}: walltime_limit must be positive", id);
+  return std::nullopt;
+}
+
+}  // namespace elastisim::workload

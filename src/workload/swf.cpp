@@ -1,0 +1,129 @@
+#include "workload/swf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/fmt.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace elastisim::workload {
+
+std::vector<SwfJob> parse_swf(std::istream& in) {
+  std::vector<SwfJob> records;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Comment / header lines start with ';' (possibly after whitespace).
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == ';') continue;
+
+    std::istringstream fields(line);
+    double f[18];
+    int count = 0;
+    while (count < 18 && (fields >> f[count])) ++count;
+    if (count < 5) continue;  // malformed line
+
+    SwfJob record;
+    record.job_number = static_cast<long long>(f[0]);
+    record.submit_time = f[1];
+    record.wait_time = count > 2 ? f[2] : -1.0;
+    record.run_time = count > 3 ? f[3] : -1.0;
+    record.allocated_processors = count > 4 ? static_cast<int>(f[4]) : 0;
+    record.requested_processors = count > 7 ? static_cast<int>(f[7]) : -1;
+    record.requested_time = count > 8 ? f[8] : -1.0;
+    record.status = count > 10 ? static_cast<int>(f[10]) : 1;
+    record.user_id = count > 11 ? static_cast<int>(f[11]) : -1;
+
+    if (record.run_time <= 0.0) continue;
+    if (record.allocated_processors <= 0 && record.requested_processors <= 0) continue;
+    records.push_back(record);
+  }
+  return records;
+}
+
+std::vector<SwfJob> parse_swf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open SWF file: " + path);
+  return parse_swf(in);
+}
+
+std::vector<Job> jobs_from_swf(const std::vector<SwfJob>& records,
+                               const SwfImportOptions& options) {
+  util::Rng rng(options.seed);
+  std::vector<Job> jobs;
+  jobs.reserve(records.size());
+  JobId next_id = 1;
+  for (const SwfJob& record : records) {
+    const int processors = record.requested_processors > 0 ? record.requested_processors
+                                                           : record.allocated_processors;
+    int nodes = (processors + options.processors_per_node - 1) / options.processors_per_node;
+    nodes = std::max(nodes, 1);
+    if (options.max_nodes > 0) nodes = std::min(nodes, options.max_nodes);
+
+    Job job;
+    job.id = next_id++;
+    job.name = util::fmt("swf{}", record.job_number);
+    job.user = record.user_id >= 0 ? util::fmt("user{}", record.user_id) : "unknown";
+    job.submit_time = std::max(0.0, record.submit_time);
+    job.requested_nodes = nodes;
+
+    const bool make_malleable = options.malleable_fraction > 0.0 &&
+                                rng.uniform() < options.malleable_fraction && nodes > 1;
+    if (make_malleable) {
+      job.type = JobType::kMalleable;
+      job.min_nodes = std::max(1, nodes / 4);
+      job.max_nodes = options.max_nodes > 0 ? std::min(options.max_nodes, nodes * 4) : nodes * 4;
+    } else {
+      job.type = JobType::kRigid;
+      job.min_nodes = job.max_nodes = nodes;
+    }
+
+    // Synthesize an iterative strong-scaling compute application whose
+    // runtime on `nodes` nodes equals the recorded runtime.
+    const int iterations = std::max(1, options.iterations);
+    const double flops_total =
+        record.run_time * options.flops_per_node * static_cast<double>(nodes);
+    Phase loop;
+    loop.name = "main-loop";
+    loop.iterations = iterations;
+    loop.groups.push_back({Task{
+        "compute",
+        ComputeTask{flops_total / iterations, ScalingModel::kStrong, 0.0}}});
+    job.application.phases.push_back(std::move(loop));
+    job.application.state_bytes_per_node = options.state_bytes_per_node;
+
+    job.walltime_limit = record.requested_time > 0.0
+                             ? record.requested_time
+                             : std::max(60.0, record.run_time * 2.0);
+    // Traces occasionally under-request; never let the limit kill a job that
+    // runs exactly as recorded.
+    job.walltime_limit = std::max(job.walltime_limit, record.run_time * 1.05);
+
+    jobs.push_back(std::move(job));
+  }
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const Job& a, const Job& b) { return a.submit_time < b.submit_time; });
+  return jobs;
+}
+
+void write_swf(std::ostream& out, const std::vector<Job>& jobs, double flops_per_node,
+               int processors_per_node) {
+  out << "; SWF export (fields 1,2,4,5,9 populated; others -1)\n";
+  for (const Job& job : jobs) {
+    const double runtime = estimate_runtime(job, job.requested_nodes, flops_per_node);
+    out << job.id << ' ' << static_cast<long long>(std::llround(job.submit_time)) << ' ' << -1
+        << ' ' << static_cast<long long>(std::llround(runtime)) << ' '
+        << job.requested_nodes * processors_per_node << ' ' << -1 << ' ' << -1 << ' '
+        << job.requested_nodes * processors_per_node << ' '
+        << (std::isfinite(job.walltime_limit)
+                ? static_cast<long long>(std::llround(job.walltime_limit))
+                : -1)
+        << " -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  }
+}
+
+}  // namespace elastisim::workload

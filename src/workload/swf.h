@@ -1,0 +1,67 @@
+// Standard Workload Format (SWF) support.
+//
+// SWF is the de-facto trace format of the Parallel Workloads Archive: one
+// job per line, 18 whitespace-separated fields, ';' comment lines. Traces
+// record only rigid jobs (submit time, runtime, processors, walltime
+// request), so the importer synthesizes a compute-only application whose
+// simulated runtime on the requested nodes matches the recorded runtime.
+// An optional *adaptivity rewrite* turns a fraction of the imported jobs
+// malleable, which is how real traces are used to evaluate malleable
+// scheduling policies.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.h"
+
+namespace elastisim::workload {
+
+struct SwfJob {
+  long long job_number = 0;
+  double submit_time = 0.0;    // field 2
+  double wait_time = -1.0;     // field 3 (ignored on import)
+  double run_time = 0.0;       // field 4
+  int allocated_processors = 0;  // field 5
+  int requested_processors = 0;  // field 8
+  double requested_time = -1.0;  // field 9 (walltime estimate)
+  int status = 1;                // field 11
+  int user_id = -1;              // field 12
+};
+
+/// Parses SWF text; skips comments, malformed lines, and jobs with
+/// non-positive runtime or processor counts. Never throws on bad lines —
+/// real archive traces contain them.
+std::vector<SwfJob> parse_swf(std::istream& in);
+std::vector<SwfJob> parse_swf_file(const std::string& path);
+
+struct SwfImportOptions {
+  /// Node capacity used to convert recorded runtimes into FLOPs.
+  double flops_per_node = 48e9;
+  /// Processors per node in the trace's machine; processor counts are
+  /// rounded up to whole nodes.
+  int processors_per_node = 1;
+  /// Fraction of jobs rewritten to be malleable (size range [n/4, n*4],
+  /// clamped to [1, max_nodes]); 0 keeps the trace rigid.
+  double malleable_fraction = 0.0;
+  /// Upper bound for node counts after rewrite; 0 = no bound.
+  int max_nodes = 0;
+  /// Iterations the synthesized main loop is split into (scheduling-point
+  /// granularity for malleable rewrites).
+  int iterations = 10;
+  /// Per-node malleable state (redistribution volume), bytes.
+  double state_bytes_per_node = 256.0 * 1024 * 1024;
+  std::uint64_t seed = 42;
+};
+
+/// Converts parsed SWF records into simulator jobs.
+std::vector<Job> jobs_from_swf(const std::vector<SwfJob>& records,
+                               const SwfImportOptions& options);
+
+/// Writes jobs back out as SWF (submit/run/processors only; other fields -1).
+/// Runtime is estimated on the requested node count.
+void write_swf(std::ostream& out, const std::vector<Job>& jobs, double flops_per_node,
+               int processors_per_node);
+
+}  // namespace elastisim::workload

@@ -1,0 +1,28 @@
+// JSON (de)serialization of full-fidelity workloads.
+//
+// Unlike SWF (which only captures rigid-job shape), the JSON format
+// round-trips the complete application model: phases, task groups, scaling
+// models, communication patterns, I/O targets, and adaptivity bounds. This
+// is the format users hand-author for experiments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "workload/job.h"
+
+namespace elastisim::workload {
+
+json::Value job_to_json(const Job& job);
+json::Value workload_to_json(const std::vector<Job>& jobs);
+
+/// Throws std::runtime_error with a descriptive message on malformed input
+/// (unknown task type, missing fields, or Job::validate() failures).
+Job job_from_json(const json::Value& value);
+std::vector<Job> workload_from_json(const json::Value& value);
+
+std::vector<Job> load_workload(const std::string& path);
+void save_workload(const std::string& path, const std::vector<Job>& jobs);
+
+}  // namespace elastisim::workload

@@ -1,0 +1,167 @@
+// Analytic validation: scenarios with closed-form results that the full
+// simulation stack must reproduce exactly — the strongest correctness
+// evidence short of comparing against another simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.h"
+#include "test_support.h"
+
+namespace elastisim {
+namespace {
+
+using core::SimulationConfig;
+using core::run_simulation;
+using test::rigid_job;
+using test::tiny_platform;
+
+TEST(Analytic, SerializedQueueMakespanIsSumOfRuntimes) {
+  // n jobs each needing the whole machine: makespan = sum of runtimes.
+  SimulationConfig config;
+  config.platform = tiny_platform(4);
+  config.scheduler = "fcfs";
+  std::vector<workload::Job> jobs;
+  double expected = 0.0;
+  for (int i = 1; i <= 7; ++i) {
+    const double runtime = 10.0 * i;
+    jobs.push_back(rigid_job(i, 4, runtime));
+    expected += runtime;
+  }
+  auto result = run_simulation(config, std::move(jobs));
+  EXPECT_NEAR(result.makespan, expected, 1e-6);
+}
+
+TEST(Analytic, PerfectPackingMakespanIsWorkOverCapacity) {
+  // 8 identical 1-node jobs of 100 s on 4 nodes: two perfect waves -> 200 s.
+  SimulationConfig config;
+  config.platform = tiny_platform(4);
+  config.scheduler = "fcfs";
+  std::vector<workload::Job> jobs;
+  for (int i = 1; i <= 8; ++i) jobs.push_back(rigid_job(i, 1, 100.0));
+  auto result = run_simulation(config, std::move(jobs));
+  EXPECT_NEAR(result.makespan, 200.0, 1e-6);
+  EXPECT_NEAR(result.recorder.average_utilization(), 1.0, 1e-9);
+}
+
+TEST(Analytic, MeanWaitOfUniformBatchMatchesFormula) {
+  // n whole-machine jobs of runtime T submitted together: job i waits
+  // (i-1)T, so the mean wait is T(n-1)/2.
+  constexpr int kJobs = 9;
+  constexpr double kRuntime = 40.0;
+  SimulationConfig config;
+  config.platform = tiny_platform(2);
+  config.scheduler = "fcfs";
+  std::vector<workload::Job> jobs;
+  for (int i = 1; i <= kJobs; ++i) jobs.push_back(rigid_job(i, 2, kRuntime));
+  auto result = run_simulation(config, std::move(jobs));
+  EXPECT_NEAR(result.recorder.mean_wait(), kRuntime * (kJobs - 1) / 2.0, 1e-6);
+}
+
+TEST(Analytic, StrongScalingSpeedupIsLinearWithoutSerialFraction) {
+  // The same total work on k nodes runs in T/k.
+  SimulationConfig config;
+  config.platform = tiny_platform(16);
+  config.scheduler = "fcfs";
+  double t1 = -1.0;
+  for (const int k : {1, 2, 4, 8, 16}) {
+    std::vector<workload::Job> jobs;
+    auto job = test::compute_job(1, workload::JobType::kRigid, k, 0.0, k, k);
+    // 1600 seconds of single-node work in total.
+    std::get<workload::ComputeTask>(
+        job.application.phases[0].groups[0][0].payload).work = 1600.0 * 1e9;
+    jobs.push_back(std::move(job));
+    auto result = run_simulation(config, std::move(jobs));
+    if (k == 1) t1 = result.makespan;
+    EXPECT_NEAR(result.makespan, t1 / k, 1e-6) << "k=" << k;
+  }
+}
+
+TEST(Analytic, AmdahlSpeedupMatchesFormula) {
+  // T(k) = T(1) * (alpha + (1-alpha)/k).
+  constexpr double kAlpha = 0.2;
+  SimulationConfig config;
+  config.platform = tiny_platform(8);
+  config.scheduler = "fcfs";
+  auto run_at = [&](int k) {
+    workload::Job job;
+    job.id = 1;
+    job.requested_nodes = job.min_nodes = job.max_nodes = k;
+    workload::Phase phase;
+    phase.name = "p";
+    phase.groups.push_back({workload::Task{
+        "c", workload::ComputeTask{1000.0 * 1e9, workload::ScalingModel::kAmdahl, kAlpha}}});
+    job.application.phases.push_back(std::move(phase));
+    std::vector<workload::Job> jobs;
+    jobs.push_back(std::move(job));
+    return run_simulation(config, std::move(jobs)).makespan;
+  };
+  const double t1 = run_at(1);
+  for (const int k : {2, 4, 8}) {
+    EXPECT_NEAR(run_at(k), t1 * (kAlpha + (1.0 - kAlpha) / k), 1e-6) << "k=" << k;
+  }
+}
+
+TEST(Analytic, BandwidthSharingMatchesProcessorSharing) {
+  // m equal transfers through one bottleneck of capacity C, all starting
+  // together: each finishes at m * bytes / C (processor-sharing result).
+  sim::Engine engine;
+  const auto pfs = engine.fluid().add_resource("pfs", 10e9);
+  constexpr int kStreams = 5;
+  constexpr double kBytes = 20e9;
+  std::vector<double> completions;
+  for (int i = 0; i < kStreams; ++i) {
+    engine.fluid().start({kBytes, {{pfs, 1.0}}, sim::kTimeInfinity, "s"},
+                         [&] { completions.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(completions.size(), static_cast<std::size_t>(kStreams));
+  for (double t : completions) {
+    EXPECT_NEAR(t, kStreams * kBytes / 10e9, 1e-6);
+  }
+}
+
+TEST(Analytic, StaggeredProcessorSharingMatchesRecurrence) {
+  // Two transfers of B bytes on capacity C; the second starts at time s.
+  // Phase 1 (alone): first does C*s. Phase 2 (shared): both at C/2.
+  // First finishes at f1 = s + (B - C*s)/(C/2); second then runs alone:
+  // f2 = f1 + (B - (f1 - s) * C/2) / C.
+  constexpr double kCapacity = 8.0, kBytes = 64.0, kStagger = 2.0;
+  sim::Engine engine;
+  const auto link = engine.fluid().add_resource("link", kCapacity);
+  double f1 = -1.0, f2 = -1.0;
+  engine.fluid().start({kBytes, {{link, 1.0}}, sim::kTimeInfinity, "a"},
+                       [&] { f1 = engine.now(); });
+  engine.schedule_at(kStagger, [&] {
+    engine.fluid().start({kBytes, {{link, 1.0}}, sim::kTimeInfinity, "b"},
+                         [&] { f2 = engine.now(); });
+  });
+  engine.run();
+  const double expected_f1 = kStagger + (kBytes - kCapacity * kStagger) / (kCapacity / 2.0);
+  const double expected_f2 =
+      expected_f1 + (kBytes - (expected_f1 - kStagger) * kCapacity / 2.0) / kCapacity;
+  EXPECT_NEAR(f1, expected_f1, 1e-9);
+  EXPECT_NEAR(f2, expected_f2, 1e-9);
+}
+
+TEST(Analytic, MalleableSingleJobEqualsIdealElasticRuntime) {
+  // One malleable job alone: it expands to the full machine at the first
+  // boundary. With I iterations of W node-seconds each starting at k0 and
+  // jumping to K nodes after iteration 1: T = W/k0 + (I-1) * W/K.
+  SimulationConfig config;
+  config.platform = tiny_platform(8);
+  config.scheduler = "fcfs-malleable";
+  constexpr int kIterations = 6;
+  auto job = test::compute_job(1, workload::JobType::kMalleable, 2, 10.0, 1, 8, 0.0,
+                               kIterations);
+  job.application.state_bytes_per_node = 0.0;
+  std::vector<workload::Job> jobs;
+  jobs.push_back(std::move(job));
+  auto result = run_simulation(config, std::move(jobs));
+  // One iteration = 10 s at 2 nodes = 20 node-seconds of work.
+  const double expected = 10.0 + (kIterations - 1) * 20.0 / 8.0;
+  EXPECT_NEAR(result.makespan, expected, 1e-6);
+}
+
+}  // namespace
+}  // namespace elastisim

@@ -1,0 +1,214 @@
+// Workflow dependencies ("afterok"): hold/release, cascading cancellation,
+// diamond graphs, interaction with walltime kills and node failures.
+#include <gtest/gtest.h>
+
+#include "core/batch_system.h"
+#include "core/scheduler.h"
+#include "test_support.h"
+#include "workload/generator.h"
+#include "workload/workload_io.h"
+
+namespace elastisim::core {
+namespace {
+
+using test::rigid_job;
+using test::tiny_platform;
+
+workload::Job after(workload::Job job, std::vector<workload::JobId> deps) {
+  job.dependencies = std::move(deps);
+  return job;
+}
+
+struct Harness {
+  explicit Harness(std::size_t nodes, BatchConfig config = {})
+      : cluster(engine, tiny_platform(nodes)),
+        batch(engine, cluster, make_scheduler("fcfs"), recorder, config) {}
+
+  const stats::JobRecord& record(workload::JobId id) {
+    for (const auto& record : recorder.records()) {
+      if (record.id == id) return record;
+    }
+    ADD_FAILURE() << "no record for job " << id;
+    static stats::JobRecord dummy;
+    return dummy;
+  }
+
+  sim::Engine engine;
+  stats::Recorder recorder;
+  platform::Cluster cluster;
+  BatchSystem batch;
+};
+
+TEST(Dependencies, ChildWaitsForParent) {
+  Harness h(4);
+  h.batch.submit(rigid_job(1, 2, 50.0));
+  h.batch.submit(after(rigid_job(2, 2, 10.0), {1}));
+  h.engine.run();
+  // Plenty of free nodes, but the child must wait for the parent to finish.
+  EXPECT_DOUBLE_EQ(h.record(2).start_time, 50.0);
+  EXPECT_EQ(h.batch.finished_jobs(), 2u);
+}
+
+TEST(Dependencies, SatisfiedDependencyDoesNotDelay) {
+  Harness h(4);
+  h.batch.submit(rigid_job(1, 2, 10.0));
+  h.batch.submit(after(rigid_job(2, 2, 10.0, /*submit=*/50.0), {1}));
+  h.engine.run();
+  // Parent finished long before the child's submission.
+  EXPECT_DOUBLE_EQ(h.record(2).start_time, 50.0);
+}
+
+TEST(Dependencies, ChainExecutesInOrder) {
+  Harness h(4);
+  h.batch.submit(rigid_job(1, 2, 10.0));
+  h.batch.submit(after(rigid_job(2, 2, 10.0), {1}));
+  h.batch.submit(after(rigid_job(3, 2, 10.0), {2}));
+  h.batch.submit(after(rigid_job(4, 2, 10.0), {3}));
+  h.engine.run();
+  EXPECT_DOUBLE_EQ(h.record(4).end_time, 40.0);
+  for (int i = 2; i <= 4; ++i) {
+    EXPECT_DOUBLE_EQ(h.record(i).start_time, h.record(i - 1).end_time);
+  }
+}
+
+TEST(Dependencies, DiamondWaitsForBothBranches) {
+  Harness h(8);
+  h.batch.submit(rigid_job(1, 2, 10.0));
+  h.batch.submit(after(rigid_job(2, 2, 30.0), {1}));  // slow branch
+  h.batch.submit(after(rigid_job(3, 2, 5.0), {1}));   // fast branch
+  h.batch.submit(after(rigid_job(4, 2, 10.0), {2, 3}));
+  h.engine.run();
+  EXPECT_DOUBLE_EQ(h.record(4).start_time, 40.0);  // max(10+30, 10+5)
+}
+
+TEST(Dependencies, KilledParentCancelsChild) {
+  Harness h(4);
+  auto parent = rigid_job(1, 2, 100.0);
+  parent.walltime_limit = 20.0;
+  h.batch.submit(std::move(parent));
+  h.batch.submit(after(rigid_job(2, 2, 10.0), {1}));
+  h.engine.run();
+  EXPECT_EQ(h.batch.cancelled_jobs(), 1u);
+  const auto& child = h.record(2);
+  EXPECT_TRUE(child.cancelled);
+  EXPECT_FALSE(child.started());
+  EXPECT_DOUBLE_EQ(child.end_time, 20.0);
+}
+
+TEST(Dependencies, CancellationCascades) {
+  Harness h(4);
+  auto parent = rigid_job(1, 2, 100.0);
+  parent.walltime_limit = 20.0;
+  h.batch.submit(std::move(parent));
+  h.batch.submit(after(rigid_job(2, 2, 10.0), {1}));
+  h.batch.submit(after(rigid_job(3, 2, 10.0), {2}));
+  h.batch.submit(after(rigid_job(4, 2, 10.0), {3}));
+  h.engine.run();
+  EXPECT_EQ(h.batch.cancelled_jobs(), 3u);
+}
+
+TEST(Dependencies, FailedDependencyDiscoveredAtLateSubmit) {
+  Harness h(4);
+  auto parent = rigid_job(1, 2, 100.0);
+  parent.walltime_limit = 20.0;
+  h.batch.submit(std::move(parent));
+  // Child submits after the parent has already been killed.
+  h.batch.submit(after(rigid_job(2, 2, 10.0, /*submit=*/60.0), {1}));
+  h.engine.run();
+  EXPECT_EQ(h.batch.cancelled_jobs(), 1u);
+  EXPECT_DOUBLE_EQ(h.record(2).end_time, 60.0);
+}
+
+TEST(Dependencies, NodeFailureKillCancelsDependents) {
+  BatchConfig config;
+  config.failure_policy = FailurePolicy::kKill;
+  Harness h(4, config);
+  h.batch.submit(rigid_job(1, 2, 100.0));
+  h.batch.submit(after(rigid_job(2, 2, 10.0), {1}));
+  h.batch.inject_failure(0, 30.0);
+  h.engine.run();
+  EXPECT_EQ(h.batch.killed_jobs(), 1u);
+  EXPECT_EQ(h.batch.cancelled_jobs(), 1u);
+}
+
+TEST(Dependencies, RequeueDoesNotCancelDependents) {
+  BatchConfig config;
+  config.failure_policy = FailurePolicy::kRequeue;
+  Harness h(4, config);
+  h.batch.submit(rigid_job(1, 2, 50.0));
+  h.batch.submit(after(rigid_job(2, 2, 10.0), {1}));
+  h.batch.inject_failure(0, 20.0);
+  h.engine.run();
+  EXPECT_EQ(h.batch.cancelled_jobs(), 0u);
+  EXPECT_EQ(h.batch.finished_jobs(), 2u);
+  // Parent restarted at 20 and ran 50 s; child follows.
+  EXPECT_DOUBLE_EQ(h.record(2).start_time, 70.0);
+}
+
+TEST(Dependencies, ForwardReferenceRejected) {
+  Harness h(4);
+  EXPECT_FALSE(h.batch.submit(after(rigid_job(1, 2, 10.0), {2})));
+  EXPECT_FALSE(h.batch.submit(after(rigid_job(3, 2, 10.0), {3})));  // self
+}
+
+TEST(Dependencies, HeldJobsNotVisibleToScheduler) {
+  Harness h(8);
+  h.batch.submit(rigid_job(1, 2, 50.0));
+  h.batch.submit(after(rigid_job(2, 2, 10.0), {1}));
+  h.engine.run_until(10.0);
+  EXPECT_EQ(h.batch.queued_jobs(), 0u);  // child held, not queued
+  EXPECT_EQ(h.batch.held_jobs(), 1u);
+  h.engine.run();
+  EXPECT_EQ(h.batch.held_jobs(), 0u);
+}
+
+TEST(Dependencies, WaitTimeIncludesDependencyHold) {
+  Harness h(8);
+  h.batch.submit(rigid_job(1, 2, 50.0));
+  h.batch.submit(after(rigid_job(2, 2, 10.0, /*submit=*/5.0), {1}));
+  h.engine.run();
+  EXPECT_DOUBLE_EQ(h.record(2).wait_time(), 45.0);
+}
+
+TEST(Dependencies, JsonRoundTrip) {
+  auto job = after(rigid_job(7, 2, 10.0), {3, 5});
+  const auto back = workload::job_from_json(workload::job_to_json(job));
+  EXPECT_EQ(back.dependencies, (std::vector<workload::JobId>{3, 5}));
+  // Jobs without dependencies keep the field implicit.
+  EXPECT_EQ(workload::job_to_json(rigid_job(8, 2, 10.0)).find("dependencies"), nullptr);
+}
+
+TEST(Dependencies, GeneratorChainsAreValidAndBackwards) {
+  workload::GeneratorConfig config;
+  config.job_count = 100;
+  config.chain_fraction = 0.5;
+  config.seed = 77;
+  const auto jobs = workload::generate_workload(config);
+  int chained = 0;
+  for (const auto& job : jobs) {
+    for (workload::JobId dep : job.dependencies) {
+      EXPECT_LT(dep, job.id);
+      ++chained;
+    }
+  }
+  EXPECT_GT(chained, 25);
+  EXPECT_LT(chained, 75);
+}
+
+TEST(Dependencies, GeneratedChainWorkloadCompletes) {
+  workload::GeneratorConfig config;
+  config.job_count = 40;
+  config.chain_fraction = 0.4;
+  config.max_nodes = 8;
+  config.flops_per_node = 1e9;
+  config.seed = 78;
+  Harness h(16);
+  h.batch.submit_all(workload::generate_workload(config));
+  h.engine.run();
+  EXPECT_EQ(h.batch.finished_jobs(), 40u);
+  EXPECT_EQ(h.batch.queued_jobs(), 0u);
+  EXPECT_EQ(h.batch.held_jobs(), 0u);
+}
+
+}  // namespace
+}  // namespace elastisim::core

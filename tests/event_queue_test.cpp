@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+
+namespace elastisim::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.next_time(), kTimeInfinity);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(3.0, [&] { order.push_back(3); });
+  queue.push(1.0, [&] { order.push_back(1); });
+  queue.push(2.0, [&] { order.push_back(2); });
+  while (!queue.empty()) queue.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    queue.push(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!queue.empty()) queue.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  bool fired = false;
+  const EventId id = queue.push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceIsNoop) {
+  EventQueue queue;
+  const EventId id = queue.push(1.0, [] {});
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_FALSE(queue.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.push(1.0, [&] { order.push_back(1); });
+  const EventId id = queue.push(2.0, [&] { order.push_back(2); });
+  queue.push(3.0, [&] { order.push_back(3); });
+  queue.cancel(id);
+  EXPECT_EQ(queue.size(), 2u);
+  while (!queue.empty()) queue.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue queue;
+  const EventId id = queue.push(1.0, [] {});
+  queue.push(5.0, [] {});
+  queue.cancel(id);
+  EXPECT_DOUBLE_EQ(queue.next_time(), 5.0);
+}
+
+TEST(EventQueue, PopReturnsTime) {
+  EventQueue queue;
+  queue.push(4.25, [] {});
+  auto [time, callback] = queue.pop();
+  EXPECT_DOUBLE_EQ(time, 4.25);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue queue;
+  std::vector<double> times;
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    queue.push(t, [&times, t] { times.push_back(t); });
+  }
+  while (!queue.empty()) queue.pop().second();
+  for (std::size_t i = 1; i < times.size(); ++i) EXPECT_LE(times[i - 1], times[i]);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+TEST(Engine, StartsAtZero) {
+  Engine engine;
+  EXPECT_DOUBLE_EQ(engine.now(), 0.0);
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine engine;
+  double seen = -1.0;
+  engine.schedule_at(10.0, [&] { seen = engine.now(); });
+  engine.run();
+  EXPECT_DOUBLE_EQ(seen, 10.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine engine;
+  double seen = -1.0;
+  engine.schedule_at(5.0, [&] {
+    engine.schedule_in(2.5, [&] { seen = engine.now(); });
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine engine;
+  double seen = -1.0;
+  engine.schedule_at(10.0, [&] {
+    engine.schedule_at(3.0, [&] { seen = engine.now(); });  // in the past
+  });
+  engine.run();
+  EXPECT_DOUBLE_EQ(seen, 10.0);
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(2.0, [&] { ++fired; });
+  engine.schedule_at(3.0, [&] { ++fired; });
+  engine.run_until(2.0);
+  EXPECT_EQ(fired, 2);  // events at exactly the deadline fire
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine engine;
+  engine.run_until(42.0);
+  EXPECT_DOUBLE_EQ(engine.now(), 42.0);
+}
+
+TEST(Engine, StepProcessesOneEvent) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule_at(1.0, [&] { ++fired; });
+  engine.schedule_at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, CancelWorksThroughEngine) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(1.0, [&] { fired = true; });
+  engine.cancel(id);
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CountsProcessedEvents) {
+  Engine engine;
+  for (int i = 0; i < 5; ++i) engine.schedule_at(i, [] {});
+  engine.run();
+  EXPECT_EQ(engine.events_processed(), 5u);
+}
+
+TEST(Engine, SelfSchedulingChainTerminates) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 100) engine.schedule_in(1.0, tick);
+  };
+  engine.schedule_in(1.0, tick);
+  engine.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_DOUBLE_EQ(engine.now(), 100.0);
+}
+
+}  // namespace
+}  // namespace elastisim::sim

@@ -1,0 +1,209 @@
+// Failure injection: node failures/repairs, kill vs requeue policies, and
+// interaction with scheduling and malleability.
+#include <gtest/gtest.h>
+
+#include "core/batch_system.h"
+#include "core/scheduler.h"
+#include "test_support.h"
+
+namespace elastisim::core {
+namespace {
+
+using test::compute_job;
+using test::rigid_job;
+using test::tiny_platform;
+using workload::JobType;
+
+struct Harness {
+  explicit Harness(std::size_t nodes, BatchConfig config = {},
+                   const std::string& scheduler = "fcfs")
+      : cluster(engine, tiny_platform(nodes)),
+        batch(engine, cluster, make_scheduler(scheduler), recorder, config) {}
+
+  const stats::JobRecord& record(workload::JobId id) {
+    for (const auto& record : recorder.records()) {
+      if (record.id == id) return record;
+    }
+    ADD_FAILURE() << "no record for job " << id;
+    static stats::JobRecord dummy;
+    return dummy;
+  }
+
+  sim::Engine engine;
+  stats::Recorder recorder;
+  platform::Cluster cluster;
+  BatchSystem batch;
+};
+
+TEST(Failure, FreeNodeFailureShrinksMachine) {
+  Harness h(4);
+  h.batch.inject_failure(3, 5.0);
+  h.batch.submit(rigid_job(1, 4, 10.0, /*submit=*/10.0));
+  h.engine.run();
+  // The 4-node job can never start on the 3 surviving nodes.
+  EXPECT_EQ(h.batch.finished_jobs(), 0u);
+  EXPECT_EQ(h.batch.queued_jobs(), 1u);
+  EXPECT_EQ(h.batch.failed_nodes_now(), 1u);
+}
+
+TEST(Failure, RepairRestoresCapacity) {
+  Harness h(4);
+  h.batch.inject_failure(3, 5.0, /*repair_time=*/50.0);
+  h.batch.submit(rigid_job(1, 4, 10.0, /*submit=*/10.0));
+  h.engine.run();
+  EXPECT_EQ(h.batch.finished_jobs(), 1u);
+  EXPECT_DOUBLE_EQ(h.record(1).start_time, 50.0);
+  EXPECT_EQ(h.batch.failed_nodes_now(), 0u);
+}
+
+TEST(Failure, KillPolicyTerminatesVictim) {
+  BatchConfig config;
+  config.failure_policy = FailurePolicy::kKill;
+  Harness h(4, config);
+  h.batch.submit(rigid_job(1, 4, 100.0));
+  h.batch.inject_failure(0, 30.0);
+  h.engine.run();
+  EXPECT_EQ(h.batch.killed_jobs(), 1u);
+  EXPECT_TRUE(h.record(1).killed);
+  EXPECT_DOUBLE_EQ(h.record(1).end_time, 30.0);
+}
+
+TEST(Failure, KillReleasesSurvivingNodes) {
+  BatchConfig config;
+  config.failure_policy = FailurePolicy::kKill;
+  Harness h(4, config);
+  h.batch.submit(rigid_job(1, 4, 100.0));
+  h.batch.submit(rigid_job(2, 3, 10.0, /*submit=*/5.0));
+  h.batch.inject_failure(0, 30.0);
+  h.engine.run();
+  // 3 nodes survive; job 2 starts right after the eviction.
+  EXPECT_DOUBLE_EQ(h.record(2).start_time, 30.0);
+  EXPECT_EQ(h.batch.finished_jobs(), 1u);
+}
+
+TEST(Failure, RequeuePolicyRestartsJob) {
+  BatchConfig config;
+  config.failure_policy = FailurePolicy::kRequeue;
+  Harness h(4, config);
+  h.batch.submit(rigid_job(1, 2, 50.0));
+  h.batch.inject_failure(0, 20.0, /*repair_time=*/25.0);
+  h.engine.run();
+  const auto& record = h.record(1);
+  EXPECT_EQ(h.batch.requeued_jobs(), 1u);
+  EXPECT_EQ(record.requeues, 1);
+  EXPECT_FALSE(record.killed);
+  // Progress lost: restarted from scratch, so the job ends at restart + 50.
+  EXPECT_GE(record.end_time, 70.0 - 1e-9);
+  EXPECT_EQ(h.batch.finished_jobs(), 1u);
+}
+
+TEST(Failure, RequeueRestartsImmediatelyIfNodesRemain) {
+  BatchConfig config;
+  config.failure_policy = FailurePolicy::kRequeue;
+  Harness h(4, config);
+  h.batch.submit(rigid_job(1, 2, 50.0));
+  h.batch.inject_failure(0, 20.0);  // never repaired; 3 nodes remain
+  h.engine.run();
+  const auto& record = h.record(1);
+  EXPECT_EQ(record.requeues, 1);
+  // Restarts at t=20 on two of the surviving nodes.
+  EXPECT_DOUBLE_EQ(record.end_time, 70.0);
+}
+
+TEST(Failure, WaitTimeKeepsOriginalStart) {
+  BatchConfig config;
+  config.failure_policy = FailurePolicy::kRequeue;
+  Harness h(4, config);
+  h.batch.submit(rigid_job(1, 2, 50.0, /*submit=*/5.0));
+  h.batch.inject_failure(1, 20.0);
+  h.engine.run();
+  // start_time records the FIRST start; wait is unaffected by the requeue.
+  EXPECT_DOUBLE_EQ(h.record(1).start_time, 5.0);
+  EXPECT_DOUBLE_EQ(h.record(1).wait_time(), 0.0);
+}
+
+TEST(Failure, NodeSecondsAccrueAcrossRestart) {
+  BatchConfig config;
+  config.failure_policy = FailurePolicy::kRequeue;
+  Harness h(4, config);
+  h.batch.submit(rigid_job(1, 2, 50.0));
+  h.batch.inject_failure(0, 20.0);
+  h.engine.run();
+  // 2 nodes x 20 s before the failure + 2 nodes x 50 s after restart.
+  EXPECT_NEAR(h.record(1).node_seconds, 40.0 + 100.0, 1e-6);
+}
+
+TEST(Failure, FailureOnUninvolvedNodeHarmless) {
+  Harness h(4);
+  h.batch.submit(rigid_job(1, 2, 50.0));
+  h.batch.inject_failure(3, 10.0);  // job runs on nodes 0-1
+  h.engine.run();
+  EXPECT_EQ(h.batch.finished_jobs(), 1u);
+  EXPECT_EQ(h.record(1).requeues, 0);
+  EXPECT_DOUBLE_EQ(h.record(1).end_time, 50.0);
+}
+
+TEST(Failure, DoubleFailureSameNodeIsIdempotent) {
+  Harness h(4);
+  h.batch.inject_failure(0, 5.0);
+  h.batch.inject_failure(0, 6.0);
+  h.batch.submit(rigid_job(1, 3, 10.0, /*submit=*/8.0));
+  h.engine.run();
+  EXPECT_EQ(h.batch.failed_nodes_now(), 1u);
+  EXPECT_EQ(h.batch.finished_jobs(), 1u);
+}
+
+TEST(Failure, MalleableJobEvictedDuringRedistribution) {
+  // Fail a node while the malleable job is mid-reconfiguration; the job must
+  // requeue cleanly (no dangling activities).
+  BatchConfig config;
+  config.failure_policy = FailurePolicy::kRequeue;
+  sim::Engine engine;
+  stats::Recorder recorder;
+  auto platform_config = tiny_platform(4);
+  platform_config.link_bandwidth = 1e9;  // slow links: redistribution takes 8 s
+  platform::Cluster cluster(engine, platform_config);
+  BatchSystem batch(engine, cluster, make_scheduler("fcfs-malleable"), recorder, config);
+  auto job = compute_job(1, JobType::kMalleable, 2, 10.0, 1, 4, 0.0, 10);
+  job.application.state_bytes_per_node = 8e9;
+  batch.submit(std::move(job));
+  // First boundary at t=10 starts an expansion + redistribution; fail at 12.
+  batch.inject_failure(0, 12.0);
+  engine.run();
+  EXPECT_EQ(batch.requeued_jobs(), 1u);
+  EXPECT_EQ(batch.finished_jobs(), 1u);
+  EXPECT_EQ(batch.queued_jobs(), 0u);
+}
+
+TEST(Failure, CascadeOfFailuresDrainsCluster) {
+  BatchConfig config;
+  config.failure_policy = FailurePolicy::kKill;
+  Harness h(4, config);
+  for (int i = 1; i <= 3; ++i) {
+    h.batch.submit(rigid_job(i, 1, 100.0));
+  }
+  for (platform::NodeId node = 0; node < 4; ++node) {
+    h.batch.inject_failure(node, 10.0 + node);
+  }
+  h.engine.run();
+  EXPECT_EQ(h.batch.killed_jobs(), 3u);
+  EXPECT_EQ(h.batch.failed_nodes_now(), 4u);
+}
+
+TEST(Failure, RequeuedJobKeepsQueuePositionBehindEarlierArrivals) {
+  BatchConfig config;
+  config.failure_policy = FailurePolicy::kRequeue;
+  Harness h(2, config);
+  h.batch.submit(rigid_job(1, 2, 50.0));
+  h.batch.submit(rigid_job(2, 2, 10.0, /*submit=*/1.0));
+  h.batch.inject_failure(0, 20.0, /*repair=*/21.0);
+  h.engine.run();
+  // Job 1 is requeued behind job 2 (resubmission semantics): job 2 runs
+  // first once the node returns.
+  EXPECT_NEAR(h.record(2).start_time, 21.0, 1e-9);
+  EXPECT_GE(h.record(1).end_time, h.record(2).end_time);
+  EXPECT_EQ(h.batch.finished_jobs(), 2u);
+}
+
+}  // namespace
+}  // namespace elastisim::core

@@ -1,0 +1,210 @@
+// End-to-end properties across the whole stack: determinism across
+// topologies, conservation invariants, dominance relations between job
+// classes, and serialization round-trips through full simulations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/simulation.h"
+#include "test_support.h"
+#include "workload/generator.h"
+#include "workload/workload_io.h"
+
+namespace elastisim {
+namespace {
+
+using core::SimulationConfig;
+using core::run_simulation;
+using test::tiny_platform;
+
+workload::GeneratorConfig mixed_generator(std::uint64_t seed) {
+  workload::GeneratorConfig generator;
+  generator.job_count = 40;
+  generator.seed = seed;
+  generator.max_nodes = 8;
+  generator.malleable_fraction = 0.4;
+  generator.moldable_fraction = 0.2;
+  generator.evolving_fraction = 0.1;
+  generator.io_fraction = 0.3;
+  generator.flops_per_node = 1e9;
+  return generator;
+}
+
+platform::ClusterConfig topology_platform(platform::TopologyKind kind) {
+  auto config = tiny_platform(16);
+  config.topology = kind;
+  config.pod_size = 4;
+  config.pod_bandwidth = 1e12;
+  return config;
+}
+
+class TopologyIntegration : public testing::TestWithParam<platform::TopologyKind> {};
+
+TEST_P(TopologyIntegration, MixedWorkloadCompletesOnEveryTopology) {
+  SimulationConfig config;
+  config.platform = topology_platform(GetParam());
+  config.scheduler = "easy-malleable";
+  auto result = run_simulation(config, workload::generate_workload(mixed_generator(3)));
+  EXPECT_EQ(result.finished, 40u);
+  EXPECT_EQ(result.stuck, 0u);
+  EXPECT_EQ(result.killed, 0u);
+}
+
+TEST_P(TopologyIntegration, DeterministicOnEveryTopology) {
+  SimulationConfig config;
+  config.platform = topology_platform(GetParam());
+  config.scheduler = "fcfs-malleable";
+  auto a = run_simulation(config, workload::generate_workload(mixed_generator(4)));
+  auto b = run_simulation(config, workload::generate_workload(mixed_generator(4)));
+  std::ostringstream csv_a, csv_b;
+  a.recorder.write_jobs_csv(csv_a);
+  b.recorder.write_jobs_csv(csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+}
+
+INSTANTIATE_TEST_SUITE_P(Topologies, TopologyIntegration,
+                         testing::Values(platform::TopologyKind::kStar,
+                                         platform::TopologyKind::kFatTree,
+                                         platform::TopologyKind::kDragonfly,
+                                         platform::TopologyKind::kTorus),
+                         [](const testing::TestParamInfo<platform::TopologyKind>& info) {
+                           std::string name = platform::to_string(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Integration, SlowerNetworkNeverShortensMakespan) {
+  // Comm-heavy workload: shrinking link bandwidth must not help.
+  workload::GeneratorConfig generator = mixed_generator(5);
+  generator.comm_bytes = 512.0 * 1024 * 1024;
+  double previous = 0.0;
+  for (const double bandwidth : {1e12, 1e10, 1e9, 1e8}) {
+    SimulationConfig config;
+    config.platform = tiny_platform(16);
+    config.platform.link_bandwidth = bandwidth;
+    config.scheduler = "easy";
+    auto result = run_simulation(config, workload::generate_workload(generator));
+    EXPECT_GE(result.makespan, previous * (1.0 - 1e-9))
+        << "bandwidth " << bandwidth << " shortened the makespan";
+    previous = result.makespan;
+  }
+}
+
+TEST(Integration, BiggerClusterNeverIncreasesMakespan) {
+  const auto generator = mixed_generator(6);
+  double previous = std::numeric_limits<double>::infinity();
+  for (const std::size_t nodes : {8u, 16u, 32u, 64u}) {
+    SimulationConfig config;
+    config.platform = tiny_platform(nodes);
+    config.scheduler = "easy";
+    auto result = run_simulation(config, workload::generate_workload(generator));
+    EXPECT_LE(result.makespan, previous * (1.0 + 1e-9)) << nodes << " nodes";
+    previous = result.makespan;
+  }
+}
+
+TEST(Integration, WorkloadSurvivesJsonRoundTripWithIdenticalResults) {
+  const auto jobs = workload::generate_workload(mixed_generator(7));
+  const auto round_tripped = workload::workload_from_json(workload::workload_to_json(jobs));
+  SimulationConfig config;
+  config.platform = tiny_platform(16);
+  config.scheduler = "easy-malleable";
+  auto original = run_simulation(config, jobs);
+  auto restored = run_simulation(config, round_tripped);
+  std::ostringstream csv_a, csv_b;
+  original.recorder.write_jobs_csv(csv_a);
+  restored.recorder.write_jobs_csv(csv_b);
+  EXPECT_EQ(csv_a.str(), csv_b.str());
+}
+
+TEST(Integration, MoldableWorkloadNeverWaitsLongerThanRigid) {
+  // The same jobs, once rigid and once moldable with a [1, 2x] range: the
+  // scheduler can only use the flexibility or ignore it, so mean wait must
+  // not get materially worse.
+  auto generator = mixed_generator(8);
+  generator.malleable_fraction = 0.0;
+  generator.moldable_fraction = 0.0;
+  generator.evolving_fraction = 0.0;
+  auto rigid_jobs = workload::generate_workload(generator);
+  auto moldable_jobs = rigid_jobs;
+  for (workload::Job& job : moldable_jobs) {
+    job.type = workload::JobType::kMoldable;
+    job.min_nodes = std::max(1, job.requested_nodes / 2);
+    job.max_nodes = job.requested_nodes;
+  }
+  SimulationConfig config;
+  config.platform = tiny_platform(16);
+  config.scheduler = "easy";
+  auto rigid = run_simulation(config, std::move(rigid_jobs));
+  auto moldable = run_simulation(config, std::move(moldable_jobs));
+  EXPECT_LE(moldable.recorder.mean_wait(), rigid.recorder.mean_wait() * 1.05);
+}
+
+TEST(Integration, ReconfigurationsConserveComputedWork) {
+  // A malleable job's total node-seconds must be at least the sequential
+  // work divided by per-node speed, no matter how often it is resized
+  // (resizing never destroys or duplicates work).
+  SimulationConfig config;
+  config.platform = tiny_platform(8);
+  config.scheduler = "fcfs-malleable";
+  auto job = test::compute_job(1, workload::JobType::kMalleable, 4, 10.0, 1, 8, 0.0, 20);
+  job.application.state_bytes_per_node = 0.0;
+  const double sequential_work_seconds = 10.0 * 4 * 20;  // 800 node-seconds
+  std::vector<workload::Job> jobs;
+  jobs.push_back(std::move(job));
+  auto result = run_simulation(config, std::move(jobs));
+  const auto& record = result.recorder.records()[0];
+  EXPECT_GE(record.node_seconds, sequential_work_seconds * (1.0 - 1e-6));
+  // Bulk-synchronous rounding loss aside, it should also be close.
+  EXPECT_LE(record.node_seconds, sequential_work_seconds * 1.2);
+}
+
+TEST(Integration, HighLoadQueuesDrainCompletely) {
+  auto generator = mixed_generator(9);
+  generator.mean_interarrival = 5.0;  // brutal burst
+  SimulationConfig config;
+  config.platform = tiny_platform(16);
+  for (const std::string& scheduler : core::scheduler_names()) {
+    config.scheduler = scheduler;
+    auto result = run_simulation(config, workload::generate_workload(generator));
+    EXPECT_EQ(result.stuck, 0u) << scheduler;
+    EXPECT_EQ(result.finished + result.killed, 40u) << scheduler;
+  }
+}
+
+TEST(Integration, ZeroJobsIsValid) {
+  SimulationConfig config;
+  config.platform = tiny_platform(4);
+  auto result = run_simulation(config, {});
+  EXPECT_EQ(result.finished, 0u);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
+TEST(Integration, SingleNodeClusterWorks) {
+  SimulationConfig config;
+  config.platform = tiny_platform(1);
+  config.scheduler = "fcfs";
+  std::vector<workload::Job> jobs;
+  for (int i = 1; i <= 5; ++i) jobs.push_back(test::rigid_job(i, 1, 10.0, i));
+  auto result = run_simulation(config, std::move(jobs));
+  EXPECT_EQ(result.finished, 5u);
+  EXPECT_DOUBLE_EQ(result.makespan, 51.0);  // first starts at t=1, serialized
+}
+
+TEST(Integration, SchedulingIntervalZeroAndLargeAgree) {
+  // The periodic timer is redundant with event-driven scheduling points.
+  const auto generator = mixed_generator(10);
+  SimulationConfig config;
+  config.platform = tiny_platform(16);
+  config.scheduler = "easy";
+  auto event_driven = run_simulation(config, workload::generate_workload(generator));
+  config.batch.scheduling_interval = 3600.0;
+  auto with_timer = run_simulation(config, workload::generate_workload(generator));
+  EXPECT_DOUBLE_EQ(event_driven.makespan, with_timer.makespan);
+}
+
+}  // namespace
+}  // namespace elastisim

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "json/json.h"
+
+namespace elastisim::json {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsing scalars
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, Null) { EXPECT_TRUE(parse("null").is_null()); }
+
+TEST(JsonParse, Booleans) {
+  EXPECT_TRUE(parse("true").as_bool());
+  EXPECT_FALSE(parse("false").as_bool());
+}
+
+TEST(JsonParse, Integers) {
+  EXPECT_DOUBLE_EQ(parse("42").as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-17").as_double(), -17.0);
+  EXPECT_EQ(parse("42").as_int(), 42);
+}
+
+TEST(JsonParse, Doubles) {
+  EXPECT_DOUBLE_EQ(parse("3.125").as_double(), 3.125);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_double(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("-2.5E-2").as_double(), -0.025);
+}
+
+TEST(JsonParse, Strings) {
+  EXPECT_EQ(parse("\"hello\"").as_string(), "hello");
+  EXPECT_EQ(parse("\"\"").as_string(), "");
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+}
+
+TEST(JsonParse, UnicodeEscapeBasic) {
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+}
+
+TEST(JsonParse, UnicodeEscapeMultibyte) {
+  EXPECT_EQ(parse("\"\\u00e9\"").as_string(), "\xc3\xa9");  // é
+}
+
+TEST(JsonParse, UnicodeEscapeThreeByte) {
+  EXPECT_EQ(parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");  // €
+}
+
+TEST(JsonParse, UnicodeSurrogatePair) {
+  // U+1F600 as surrogate pair D83D DE00 -> 4-byte UTF-8.
+  EXPECT_EQ(parse("\"\\ud83d\\ude00\"").as_string(), "\xf0\x9f\x98\x80");
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse("[]").as_array().empty());
+  EXPECT_TRUE(parse("{}").as_object().empty());
+}
+
+TEST(JsonParse, NestedStructure) {
+  const Value value = parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  const Array& a = value.find("a")->as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a[0].as_double(), 1.0);
+  EXPECT_TRUE(a[2].find("b")->as_bool());
+  EXPECT_TRUE(value.find("c")->is_null());
+}
+
+TEST(JsonParse, ObjectPreservesInsertionOrder) {
+  const Value value = parse(R"({"z": 1, "a": 2, "m": 3})");
+  std::vector<std::string> keys;
+  for (const auto& [key, member] : value.as_object()) keys.push_back(key);
+  EXPECT_EQ(keys, (std::vector<std::string>{"z", "a", "m"}));
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  EXPECT_DOUBLE_EQ(parse(" \n\t { \"a\" :\r 1 } ").find("a")->as_double(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, RejectsTrailingGarbage) { EXPECT_THROW(parse("1 2"), ParseError); }
+
+TEST(JsonParse, RejectsUnterminatedString) { EXPECT_THROW(parse("\"abc"), ParseError); }
+
+TEST(JsonParse, RejectsUnterminatedArray) { EXPECT_THROW(parse("[1, 2"), ParseError); }
+
+TEST(JsonParse, RejectsBadLiteral) { EXPECT_THROW(parse("tru"), ParseError); }
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse(R"({"a": 1, "a": 2})"), ParseError);
+}
+
+TEST(JsonParse, RejectsBareNumberEdgeCases) {
+  EXPECT_THROW(parse("1."), ParseError);
+  EXPECT_THROW(parse("-"), ParseError);
+  EXPECT_THROW(parse("1e"), ParseError);
+}
+
+TEST(JsonParse, RejectsControlCharacterInString) {
+  EXPECT_THROW(parse("\"a\nb\""), ParseError);
+}
+
+TEST(JsonParse, RejectsUnpairedSurrogate) {
+  EXPECT_THROW(parse(R"("\ud83d")"), ParseError);
+  EXPECT_THROW(parse(R"("\ude00")"), ParseError);
+}
+
+TEST(JsonParse, ErrorReportsPosition) {
+  try {
+    parse("{\n  \"a\": tru\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_EQ(error.line(), 2u);
+    EXPECT_GT(error.column(), 1u);
+  }
+}
+
+TEST(JsonParse, EmptyInputFails) { EXPECT_THROW(parse(""), ParseError); }
+
+// ---------------------------------------------------------------------------
+// Value API
+// ---------------------------------------------------------------------------
+
+TEST(JsonValue, TypeMismatchThrows) {
+  EXPECT_THROW(parse("1").as_string(), std::runtime_error);
+  EXPECT_THROW(parse("\"x\"").as_double(), std::runtime_error);
+  EXPECT_THROW(parse("[]").as_object(), std::runtime_error);
+}
+
+TEST(JsonValue, GetOrFallsBack) {
+  EXPECT_EQ(parse("\"x\"").get_or(5.0), 5.0);
+  EXPECT_EQ(parse("2").get_or(std::int64_t{5}), 2);
+  EXPECT_EQ(parse("true").get_or(false), true);
+}
+
+TEST(JsonValue, MemberOr) {
+  const Value value = parse(R"({"n": 3, "s": "hi"})");
+  EXPECT_EQ(value.member_or("n", std::int64_t{0}), 3);
+  EXPECT_EQ(value.member_or("missing", std::int64_t{9}), 9);
+  EXPECT_EQ(value.member_or("s", "dflt"), "hi");
+  EXPECT_EQ(value.member_or("missing", "dflt"), "dflt");
+}
+
+TEST(JsonValue, FindOnNonObjectReturnsNull) {
+  EXPECT_EQ(parse("[1]").find("a"), nullptr);
+}
+
+TEST(JsonValue, Equality) {
+  EXPECT_EQ(parse(R"({"a": [1, 2]})"), parse(R"({"a": [1, 2]})"));
+  EXPECT_FALSE(parse("{\"a\": 1}") == parse("{\"a\": 2}"));
+  // Member order is irrelevant to equality.
+  EXPECT_EQ(parse(R"({"a": 1, "b": 2})"), parse(R"({"b": 2, "a": 1})"));
+}
+
+TEST(JsonValue, ObjectBracketInsertsAndFinds) {
+  Object object;
+  object["k"] = Value(1.5);
+  EXPECT_TRUE(object.contains("k"));
+  EXPECT_DOUBLE_EQ(object.find("k")->as_double(), 1.5);
+  object["k"] = Value(2.5);  // overwrite, no duplicate
+  EXPECT_EQ(object.size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+TEST(JsonDump, CompactRoundTrip) {
+  const std::string text = R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null}})";
+  EXPECT_EQ(dump(parse(text)), text);
+}
+
+TEST(JsonDump, IntegralDoublesPrintWithoutFraction) {
+  EXPECT_EQ(dump(Value(3.0)), "3");
+  EXPECT_EQ(dump(Value(2.5)), "2.5");
+}
+
+TEST(JsonDump, EscapesSpecialCharacters) {
+  EXPECT_EQ(dump(Value("a\"b\\c\nd")), R"("a\"b\\c\nd")");
+}
+
+TEST(JsonDump, EscapesControlCharacters) {
+  EXPECT_EQ(dump(Value(std::string("\x01", 1))), "\"\\u0001\"");
+}
+
+TEST(JsonDump, NonFiniteBecomesNull) {
+  EXPECT_EQ(dump(Value(std::numeric_limits<double>::infinity())), "null");
+}
+
+TEST(JsonDump, PrettyParsesBack) {
+  const Value original = parse(R"({"a": [1, {"b": [2, 3]}], "c": "x"})");
+  EXPECT_EQ(parse(dump_pretty(original)), original);
+}
+
+TEST(JsonDump, PrettyIndents) {
+  const std::string pretty = dump_pretty(parse(R"({"a": 1})"));
+  EXPECT_NE(pretty.find("\n  \"a\": 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// File I/O
+// ---------------------------------------------------------------------------
+
+TEST(JsonFile, RoundTrip) {
+  const std::string path = testing::TempDir() + "/elsim_json_test.json";
+  const Value original = parse(R"({"nested": {"list": [1, 2, 3]}})");
+  write_file(path, original);
+  EXPECT_EQ(parse_file(path), original);
+  std::remove(path.c_str());
+}
+
+TEST(JsonFile, MissingFileThrows) {
+  EXPECT_THROW(parse_file("/nonexistent/path/x.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace elastisim::json

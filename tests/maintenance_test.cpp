@@ -1,0 +1,162 @@
+// Maintenance drains and memory-aware admission.
+#include <gtest/gtest.h>
+
+#include "core/batch_system.h"
+#include "core/scheduler.h"
+#include "test_support.h"
+#include "workload/workload_io.h"
+
+namespace elastisim::core {
+namespace {
+
+using test::rigid_job;
+using test::tiny_platform;
+
+struct Harness {
+  explicit Harness(std::size_t nodes, platform::ClusterConfig config)
+      : cluster(engine, config),
+        batch(engine, cluster, make_scheduler("fcfs"), recorder) {
+    (void)nodes;
+  }
+  explicit Harness(std::size_t nodes) : Harness(nodes, tiny_platform(nodes)) {}
+
+  const stats::JobRecord& record(workload::JobId id) {
+    for (const auto& record : recorder.records()) {
+      if (record.id == id) return record;
+    }
+    ADD_FAILURE() << "no record for job " << id;
+    static stats::JobRecord dummy;
+    return dummy;
+  }
+
+  sim::Engine engine;
+  stats::Recorder recorder;
+  platform::Cluster cluster;
+  BatchSystem batch;
+};
+
+// ---------------------------------------------------------------------------
+// Draining
+// ---------------------------------------------------------------------------
+
+TEST(Drain, IdleNodeLeavesServiceImmediately) {
+  Harness h(4);
+  h.batch.drain_node(3, 5.0);
+  h.batch.submit(rigid_job(1, 4, 10.0, /*submit=*/10.0));
+  h.engine.run();
+  EXPECT_EQ(h.batch.drained_nodes_now(), 1u);
+  // The 4-node job cannot run on the 3 in-service nodes.
+  EXPECT_EQ(h.batch.finished_jobs(), 0u);
+  EXPECT_EQ(h.batch.queued_jobs(), 1u);
+}
+
+TEST(Drain, BusyNodeDrainsOnlyAfterJobFinishes) {
+  Harness h(2);
+  h.batch.submit(rigid_job(1, 2, 30.0));
+  h.batch.drain_node(0, 10.0);
+  h.engine.run_until(20.0);
+  // Job still running on the drain-pending node.
+  EXPECT_EQ(h.batch.drained_nodes_now(), 0u);
+  EXPECT_EQ(h.batch.running_jobs(), 1u);
+  h.engine.run();
+  EXPECT_EQ(h.batch.finished_jobs(), 1u);
+  EXPECT_EQ(h.batch.drained_nodes_now(), 1u);
+}
+
+TEST(Drain, DrainedNodeNotGivenToNewJobs) {
+  Harness h(2);
+  h.batch.drain_node(0, 0.0);
+  h.batch.submit(rigid_job(1, 1, 10.0, /*submit=*/5.0));
+  h.engine.run();
+  EXPECT_EQ(h.batch.finished_jobs(), 1u);
+  // The job must have run on node 1, the only in-service node.
+  EXPECT_EQ(h.batch.drained_nodes_now(), 1u);
+}
+
+TEST(Drain, UndrainRestoresService) {
+  Harness h(2);
+  h.batch.drain_node(0, 0.0, /*until=*/20.0);
+  h.batch.submit(rigid_job(1, 2, 10.0, /*submit=*/5.0));
+  h.engine.run();
+  EXPECT_DOUBLE_EQ(h.record(1).start_time, 20.0);
+  EXPECT_EQ(h.batch.drained_nodes_now(), 0u);
+}
+
+TEST(Drain, PendingDrainCancelledByUndrain) {
+  Harness h(2);
+  h.batch.submit(rigid_job(1, 2, 30.0));
+  h.batch.drain_node(0, 5.0, /*until=*/10.0);  // undrained before release
+  h.batch.submit(rigid_job(2, 2, 5.0, /*submit=*/1.0));
+  h.engine.run();
+  // Node never left service: job 2 starts right when job 1 ends.
+  EXPECT_DOUBLE_EQ(h.record(2).start_time, 30.0);
+  EXPECT_EQ(h.batch.drained_nodes_now(), 0u);
+}
+
+TEST(Drain, ShrinkReleasesIntoDrain) {
+  sim::Engine engine;
+  stats::Recorder recorder;
+  platform::Cluster cluster(engine, tiny_platform(4));
+  BatchSystem batch(engine, cluster, make_scheduler("fcfs-malleable"), recorder);
+  auto job = test::compute_job(1, workload::JobType::kMalleable, 4, 10.0, 2, 4, 0.0, 10);
+  job.application.state_bytes_per_node = 0.0;
+  batch.submit(std::move(job));
+  // Drain one of the job's nodes, then force a shrink by submitting work.
+  batch.drain_node(3, 5.0);
+  batch.submit(rigid_job(2, 2, 10.0, /*submit=*/6.0));
+  engine.run();
+  // Node 3 is drained once the malleable job shrinks away from it.
+  EXPECT_EQ(batch.drained_nodes_now(), 1u);
+  EXPECT_EQ(batch.finished_jobs(), 2u);
+}
+
+TEST(Drain, FailureOverridesDrain) {
+  Harness h(4);
+  h.batch.drain_node(0, 0.0);
+  h.batch.inject_failure(0, 5.0);
+  h.engine.run();
+  EXPECT_EQ(h.batch.failed_nodes_now(), 1u);
+  EXPECT_EQ(h.batch.drained_nodes_now(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Memory-aware admission
+// ---------------------------------------------------------------------------
+
+TEST(MemoryAdmission, OversizedJobRejected) {
+  auto config = tiny_platform(4);
+  config.memory_bytes = 64e9;
+  Harness h(4, config);
+  auto job = rigid_job(1, 2, 10.0);
+  job.memory_bytes_per_node = 128e9;
+  EXPECT_FALSE(h.batch.submit(std::move(job)));
+}
+
+TEST(MemoryAdmission, FittingJobAccepted) {
+  auto config = tiny_platform(4);
+  config.memory_bytes = 64e9;
+  Harness h(4, config);
+  auto job = rigid_job(1, 2, 10.0);
+  job.memory_bytes_per_node = 32e9;
+  EXPECT_TRUE(h.batch.submit(std::move(job)));
+  h.engine.run();
+  EXPECT_EQ(h.batch.finished_jobs(), 1u);
+}
+
+TEST(MemoryAdmission, UnspecifiedPlatformMemoryAdmitsEverything) {
+  Harness h(4);  // tiny_platform leaves memory at 0 (unspecified)
+  auto job = rigid_job(1, 2, 10.0);
+  job.memory_bytes_per_node = 1e15;
+  EXPECT_TRUE(h.batch.submit(std::move(job)));
+}
+
+TEST(MemoryAdmission, JsonRoundTrip) {
+  auto job = rigid_job(1, 2, 10.0);
+  job.memory_bytes_per_node = 48e9;
+  const auto back = workload::job_from_json(workload::job_to_json(job));
+  EXPECT_DOUBLE_EQ(back.memory_bytes_per_node, 48e9);
+  EXPECT_EQ(workload::job_to_json(rigid_job(2, 2, 10.0)).find("memory_per_node"), nullptr);
+}
+
+}  // namespace
+}  // namespace elastisim::core

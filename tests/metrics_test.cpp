@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/metrics.h"
+#include "util/csv.h"
+
+namespace elastisim::stats {
+namespace {
+
+workload::Job job_with_id(workload::JobId id) {
+  workload::Job job;
+  job.id = id;
+  job.name = "j" + std::to_string(id);
+  job.type = workload::JobType::kMalleable;
+  return job;
+}
+
+TEST(JobRecord, WaitAndTurnaround) {
+  JobRecord record;
+  record.submit_time = 10.0;
+  record.start_time = 25.0;
+  record.end_time = 100.0;
+  EXPECT_DOUBLE_EQ(record.wait_time(), 15.0);
+  EXPECT_DOUBLE_EQ(record.turnaround(), 90.0);
+  EXPECT_DOUBLE_EQ(record.runtime(), 75.0);
+}
+
+TEST(JobRecord, UnstartedJobSentinelValues) {
+  JobRecord record;
+  record.submit_time = 10.0;
+  EXPECT_FALSE(record.started());
+  EXPECT_FALSE(record.finished());
+  EXPECT_DOUBLE_EQ(record.wait_time(), -1.0);
+}
+
+TEST(JobRecord, BoundedSlowdownFloorsAtOne) {
+  JobRecord record;
+  record.submit_time = 0.0;
+  record.start_time = 0.0;
+  record.end_time = 100.0;
+  EXPECT_DOUBLE_EQ(record.bounded_slowdown(), 1.0);
+}
+
+TEST(JobRecord, BoundedSlowdownUsesTauForShortJobs) {
+  JobRecord record;
+  record.submit_time = 0.0;
+  record.start_time = 99.0;
+  record.end_time = 100.0;  // 1s runtime, 100s turnaround
+  // Without tau this would be 100; with tau=10 it is 10.
+  EXPECT_DOUBLE_EQ(record.bounded_slowdown(10.0), 10.0);
+}
+
+TEST(Recorder, LifecycleProducesConsistentRecord) {
+  Recorder recorder;
+  recorder.set_total_nodes(8);
+  auto job = job_with_id(1);
+  recorder.on_submit(job, 5.0);
+  recorder.on_start(1, 10.0, 4);
+  recorder.on_finish(1, 30.0, false);
+  ASSERT_EQ(recorder.records().size(), 1u);
+  const JobRecord& record = recorder.records()[0];
+  EXPECT_DOUBLE_EQ(record.wait_time(), 5.0);
+  EXPECT_DOUBLE_EQ(record.node_seconds, 80.0);  // 4 nodes x 20 s
+  EXPECT_EQ(record.initial_nodes, 4);
+  EXPECT_EQ(record.final_nodes, 4);
+  EXPECT_FALSE(record.killed);
+}
+
+TEST(Recorder, ResizeAccruesNodeSecondsPiecewise) {
+  Recorder recorder;
+  recorder.set_total_nodes(8);
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_start(1, 0.0, 2);
+  recorder.on_resize(1, 10.0, 6);  // 2 nodes x 10 s
+  recorder.on_resize(1, 15.0, 4);  // 6 nodes x 5 s
+  recorder.on_finish(1, 25.0, false);  // 4 nodes x 10 s
+  const JobRecord& record = recorder.records()[0];
+  EXPECT_DOUBLE_EQ(record.node_seconds, 20.0 + 30.0 + 40.0);
+  EXPECT_EQ(record.expansions, 1);
+  EXPECT_EQ(record.shrinks, 1);
+  EXPECT_EQ(record.initial_nodes, 2);
+  EXPECT_EQ(record.final_nodes, 4);
+}
+
+TEST(Recorder, EvolvingCountersTrackGrants) {
+  Recorder recorder;
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_evolving_request(1, true);
+  recorder.on_evolving_request(1, false);
+  recorder.on_evolving_request(1, true);
+  const JobRecord& record = recorder.records()[0];
+  EXPECT_EQ(record.evolving_requests, 3);
+  EXPECT_EQ(record.evolving_granted, 2);
+}
+
+TEST(Recorder, KilledJobMarked) {
+  Recorder recorder;
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_start(1, 0.0, 1);
+  recorder.on_finish(1, 60.0, true);
+  EXPECT_TRUE(recorder.records()[0].killed);
+  EXPECT_EQ(recorder.killed_count(), 1u);
+}
+
+TEST(Recorder, AggregatesOverMultipleJobs) {
+  Recorder recorder;
+  recorder.set_total_nodes(4);
+  for (workload::JobId id = 1; id <= 3; ++id) {
+    recorder.on_submit(job_with_id(id), 0.0);
+  }
+  recorder.on_start(1, 0.0, 2);
+  recorder.on_start(2, 10.0, 2);
+  recorder.on_start(3, 20.0, 2);
+  recorder.on_finish(1, 30.0, false);
+  recorder.on_finish(2, 40.0, false);
+  recorder.on_finish(3, 50.0, false);
+  EXPECT_EQ(recorder.finished_count(), 3u);
+  EXPECT_DOUBLE_EQ(recorder.makespan(), 50.0);
+  EXPECT_DOUBLE_EQ(recorder.mean_wait(), 10.0);     // 0, 10, 20
+  EXPECT_DOUBLE_EQ(recorder.median_wait(), 10.0);
+  EXPECT_DOUBLE_EQ(recorder.max_wait(), 20.0);
+  EXPECT_DOUBLE_EQ(recorder.mean_turnaround(), (30.0 + 40.0 + 50.0) / 3.0);
+}
+
+TEST(Recorder, UnfinishedJobsExcludedFromAggregates) {
+  Recorder recorder;
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_submit(job_with_id(2), 0.0);
+  recorder.on_start(1, 5.0, 1);
+  recorder.on_finish(1, 15.0, false);
+  recorder.on_start(2, 8.0, 1);  // never finishes
+  EXPECT_EQ(recorder.finished_count(), 1u);
+  EXPECT_DOUBLE_EQ(recorder.mean_wait(), 5.0);
+}
+
+TEST(Recorder, UtilizationIntegralCorrect) {
+  Recorder recorder;
+  recorder.set_total_nodes(4);
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_start(1, 0.0, 4);
+  recorder.on_finish(1, 10.0, false);
+  // 40 node-seconds over 10 s on 4 nodes -> 100%.
+  EXPECT_DOUBLE_EQ(recorder.average_utilization(), 1.0);
+}
+
+TEST(Recorder, UtilizationHalfWhenHalfAllocated) {
+  Recorder recorder;
+  recorder.set_total_nodes(4);
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_start(1, 0.0, 2);
+  recorder.on_finish(1, 10.0, false);
+  EXPECT_DOUBLE_EQ(recorder.average_utilization(), 0.5);
+}
+
+TEST(Recorder, TimelineStepsMatchEvents) {
+  Recorder recorder;
+  recorder.set_total_nodes(8);
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_submit(job_with_id(2), 0.0);
+  recorder.on_start(1, 0.0, 2);
+  recorder.on_start(2, 5.0, 3);
+  recorder.on_resize(1, 7.0, 4);
+  recorder.on_finish(2, 9.0, false);
+  recorder.on_finish(1, 12.0, false);
+  const auto& timeline = recorder.timeline();
+  ASSERT_EQ(timeline.size(), 5u);
+  EXPECT_EQ(timeline[0].allocated_nodes, 2);
+  EXPECT_EQ(timeline[1].allocated_nodes, 5);
+  EXPECT_EQ(timeline[2].allocated_nodes, 7);  // 4 + 3
+  EXPECT_EQ(timeline[3].allocated_nodes, 4);
+  EXPECT_EQ(timeline[4].allocated_nodes, 0);
+}
+
+TEST(Recorder, UtilizationBucketsIntegrateStepFunction) {
+  Recorder recorder;
+  recorder.set_total_nodes(2);
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_start(1, 0.0, 2);   // full until t=5
+  recorder.on_resize(1, 5.0, 1);  // half from t=5
+  recorder.on_finish(1, 10.0, false);
+  const auto buckets = recorder.utilization_buckets(5.0);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_NEAR(buckets[0], 1.0, 1e-9);
+  EXPECT_NEAR(buckets[1], 0.5, 1e-9);
+}
+
+TEST(Recorder, UtilizationBucketsPartialWindow) {
+  Recorder recorder;
+  recorder.set_total_nodes(1);
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_start(1, 0.0, 1);
+  recorder.on_finish(1, 7.5, false);
+  const auto buckets = recorder.utilization_buckets(5.0);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_NEAR(buckets[0], 1.0, 1e-9);
+  EXPECT_NEAR(buckets[1], 0.5, 1e-9);  // busy 2.5 of the 5-second window
+}
+
+TEST(Recorder, CsvOutputsParse) {
+  Recorder recorder;
+  recorder.set_total_nodes(2);
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_start(1, 1.0, 2);
+  recorder.on_finish(1, 3.0, false);
+  std::ostringstream jobs_csv, timeline_csv;
+  recorder.write_jobs_csv(jobs_csv);
+  recorder.write_timeline_csv(timeline_csv);
+
+  std::istringstream jobs_in(jobs_csv.str());
+  std::string header, row;
+  ASSERT_TRUE(std::getline(jobs_in, header));
+  ASSERT_TRUE(std::getline(jobs_in, row));
+  const auto header_fields = util::split_csv_line(header);
+  const auto row_fields = util::split_csv_line(row);
+  EXPECT_EQ(header_fields.size(), row_fields.size());
+  EXPECT_EQ(row_fields[0], "1");
+
+  std::istringstream timeline_in(timeline_csv.str());
+  int lines = 0;
+  std::string line;
+  while (std::getline(timeline_in, line)) ++lines;
+  EXPECT_EQ(lines, 3);  // header + start + finish
+}
+
+TEST(Recorder, WaitPercentiles) {
+  Recorder recorder;
+  for (workload::JobId id = 1; id <= 10; ++id) {
+    recorder.on_submit(job_with_id(id), 0.0);
+    recorder.on_start(id, static_cast<double>(id), 1);  // waits 1..10
+    recorder.on_finish(id, static_cast<double>(id) + 1.0, false);
+  }
+  EXPECT_DOUBLE_EQ(recorder.wait_percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(recorder.wait_percentile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(recorder.wait_percentile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(recorder.wait_percentile(0.9), 9.0);
+}
+
+TEST(Recorder, WaitPercentileEmpty) {
+  Recorder recorder;
+  EXPECT_DOUBLE_EQ(recorder.wait_percentile(0.9), 0.0);
+}
+
+TEST(Recorder, CancelledJobRecorded) {
+  Recorder recorder;
+  recorder.on_submit(job_with_id(1), 5.0);
+  recorder.on_cancel(1, 20.0);
+  const JobRecord& record = recorder.records()[0];
+  EXPECT_TRUE(record.cancelled);
+  EXPECT_FALSE(record.started());
+  EXPECT_DOUBLE_EQ(record.end_time, 20.0);
+  // A cancelled job never ran: it contributes no node-seconds.
+  EXPECT_DOUBLE_EQ(record.node_seconds, 0.0);
+}
+
+TEST(Recorder, EmptyRecorderAggregatesAreZero) {
+  Recorder recorder;
+  EXPECT_DOUBLE_EQ(recorder.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.mean_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.average_utilization(), 0.0);
+  EXPECT_TRUE(recorder.utilization_buckets(10.0).empty());
+}
+
+}  // namespace
+}  // namespace elastisim::stats

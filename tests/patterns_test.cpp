@@ -1,0 +1,186 @@
+// Communication-pattern expansion: exact shapes for small k, invariant
+// sweeps (parameterized) for many k.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/patterns.h"
+
+namespace elastisim::workload {
+namespace {
+
+TEST(Patterns, SingleRankYieldsNoFlows) {
+  for (auto pattern : {CommPattern::kAllToAll, CommPattern::kAllReduce, CommPattern::kBroadcast,
+                       CommPattern::kRing, CommPattern::kStencil2D, CommPattern::kGather,
+                       CommPattern::kScatter}) {
+    EXPECT_TRUE(pattern_flows(pattern, 1, 100.0).empty()) << to_string(pattern);
+  }
+}
+
+TEST(Patterns, ZeroBytesYieldsNoFlows) {
+  EXPECT_TRUE(pattern_flows(CommPattern::kAllToAll, 8, 0.0).empty());
+}
+
+TEST(Patterns, AllToAllFlowCount) {
+  const auto flows = pattern_flows(CommPattern::kAllToAll, 4, 10.0);
+  EXPECT_EQ(flows.size(), 12u);  // k*(k-1)
+  for (const Flow& flow : flows) EXPECT_DOUBLE_EQ(flow.bytes, 10.0);
+}
+
+TEST(Patterns, AllToAllEveryPairOnce) {
+  const auto flows = pattern_flows(CommPattern::kAllToAll, 5, 1.0);
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (const Flow& flow : flows) pairs.insert({flow.src, flow.dst});
+  EXPECT_EQ(pairs.size(), 20u);
+}
+
+TEST(Patterns, AllReduceRingVolume) {
+  // Each of k ring edges carries 2*(k-1)/k * bytes.
+  const auto flows = pattern_flows(CommPattern::kAllReduce, 4, 100.0);
+  ASSERT_EQ(flows.size(), 4u);
+  for (const Flow& flow : flows) {
+    EXPECT_DOUBLE_EQ(flow.bytes, 2.0 * 100.0 * 3.0 / 4.0);
+    EXPECT_EQ(flow.dst, (flow.src + 1) % 4);
+  }
+}
+
+TEST(Patterns, BroadcastBinomialTreeEdgeCount) {
+  // A binomial broadcast over k ranks uses exactly k-1 edges.
+  for (std::size_t k : {2u, 3u, 4u, 7u, 8u, 16u, 31u}) {
+    EXPECT_EQ(pattern_flows(CommPattern::kBroadcast, k, 1.0).size(), k - 1) << "k=" << k;
+  }
+}
+
+TEST(Patterns, BroadcastReachesAllRanksFromRoot) {
+  const auto flows = pattern_flows(CommPattern::kBroadcast, 13, 1.0);
+  std::set<std::size_t> reached = {0};
+  // Edges are emitted in forwarding order, so one pass suffices.
+  for (const Flow& flow : flows) {
+    EXPECT_TRUE(reached.count(flow.src)) << "sender has not received yet";
+    reached.insert(flow.dst);
+  }
+  EXPECT_EQ(reached.size(), 13u);
+}
+
+TEST(Patterns, RingNeighborsBothDirections) {
+  const auto flows = pattern_flows(CommPattern::kRing, 4, 5.0);
+  EXPECT_EQ(flows.size(), 8u);  // 2 per rank
+  std::multiset<std::pair<std::size_t, std::size_t>> pairs;
+  for (const Flow& flow : flows) pairs.insert({flow.src, flow.dst});
+  EXPECT_EQ(pairs.count({0, 1}), 1u);
+  EXPECT_EQ(pairs.count({0, 3}), 1u);
+  EXPECT_EQ(pairs.count({1, 0}), 1u);
+}
+
+TEST(Patterns, RingOfTwoHasFourFlows) {
+  // Successor and predecessor coincide for k=2; both directions still counted.
+  const auto flows = pattern_flows(CommPattern::kRing, 2, 1.0);
+  EXPECT_EQ(flows.size(), 4u);
+}
+
+TEST(Patterns, StencilGridNearSquare) {
+  EXPECT_EQ(stencil_grid(16), (std::pair<std::size_t, std::size_t>{4, 4}));
+  EXPECT_EQ(stencil_grid(12), (std::pair<std::size_t, std::size_t>{3, 4}));
+  EXPECT_EQ(stencil_grid(7), (std::pair<std::size_t, std::size_t>{1, 7}));
+  EXPECT_EQ(stencil_grid(1), (std::pair<std::size_t, std::size_t>{1, 1}));
+}
+
+TEST(Patterns, StencilInteriorRankHasFourNeighbors) {
+  const auto flows = pattern_flows(CommPattern::kStencil2D, 9, 1.0);  // 3x3
+  std::map<std::size_t, int> out_degree;
+  for (const Flow& flow : flows) ++out_degree[flow.src];
+  EXPECT_EQ(out_degree[4], 4);  // center
+  EXPECT_EQ(out_degree[0], 2);  // corner
+  EXPECT_EQ(out_degree[1], 3);  // edge
+}
+
+TEST(Patterns, StencilFlowsAreSymmetric) {
+  const auto flows = pattern_flows(CommPattern::kStencil2D, 12, 1.0);
+  std::set<std::pair<std::size_t, std::size_t>> pairs;
+  for (const Flow& flow : flows) pairs.insert({flow.src, flow.dst});
+  for (const auto& [src, dst] : pairs) {
+    EXPECT_TRUE(pairs.count({dst, src})) << src << "->" << dst << " has no reverse";
+  }
+}
+
+TEST(Patterns, GatherConvergesOnRoot) {
+  const auto flows = pattern_flows(CommPattern::kGather, 6, 2.0);
+  EXPECT_EQ(flows.size(), 5u);
+  for (const Flow& flow : flows) {
+    EXPECT_EQ(flow.dst, 0u);
+    EXPECT_NE(flow.src, 0u);
+  }
+}
+
+TEST(Patterns, ScatterIsGatherReversed) {
+  const auto gather = pattern_flows(CommPattern::kGather, 6, 2.0);
+  const auto scatter = pattern_flows(CommPattern::kScatter, 6, 2.0);
+  ASSERT_EQ(gather.size(), scatter.size());
+  for (std::size_t i = 0; i < gather.size(); ++i) {
+    EXPECT_EQ(gather[i].src, scatter[i].dst);
+    EXPECT_EQ(gather[i].dst, scatter[i].src);
+  }
+}
+
+TEST(Patterns, TotalBytesMatchesSum) {
+  EXPECT_DOUBLE_EQ(pattern_total_bytes(CommPattern::kGather, 5, 3.0), 12.0);
+  EXPECT_DOUBLE_EQ(pattern_total_bytes(CommPattern::kAllToAll, 3, 2.0), 12.0);
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized invariants across patterns and sizes
+// ---------------------------------------------------------------------------
+
+using PatternCase = std::tuple<CommPattern, std::size_t>;
+
+class PatternInvariants : public testing::TestWithParam<PatternCase> {};
+
+TEST_P(PatternInvariants, FlowsAreWellFormed) {
+  const auto [pattern, k] = GetParam();
+  for (const Flow& flow : pattern_flows(pattern, k, 7.5)) {
+    EXPECT_LT(flow.src, k);
+    EXPECT_LT(flow.dst, k);
+    EXPECT_NE(flow.src, flow.dst);
+    EXPECT_GT(flow.bytes, 0.0);
+  }
+}
+
+TEST_P(PatternInvariants, BytesScaleLinearly) {
+  const auto [pattern, k] = GetParam();
+  const double at_one = pattern_total_bytes(pattern, k, 1.0);
+  const double at_ten = pattern_total_bytes(pattern, k, 10.0);
+  EXPECT_NEAR(at_ten, 10.0 * at_one, 1e-9 * std::max(1.0, at_ten));
+}
+
+TEST_P(PatternInvariants, DeterministicExpansion) {
+  const auto [pattern, k] = GetParam();
+  const auto a = pattern_flows(pattern, k, 3.0);
+  const auto b = pattern_flows(pattern, k, 3.0);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src, b[i].src);
+    EXPECT_EQ(a[i].dst, b[i].dst);
+    EXPECT_DOUBLE_EQ(a[i].bytes, b[i].bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPatternsAndSizes, PatternInvariants,
+    testing::Combine(testing::Values(CommPattern::kAllToAll, CommPattern::kAllReduce,
+                                     CommPattern::kBroadcast, CommPattern::kRing,
+                                     CommPattern::kStencil2D, CommPattern::kGather,
+                                     CommPattern::kScatter),
+                     testing::Values(std::size_t{2}, std::size_t{3}, std::size_t{4},
+                                     std::size_t{8}, std::size_t{13}, std::size_t{16},
+                                     std::size_t{64})),
+    [](const testing::TestParamInfo<PatternCase>& info) {
+      std::string name = to_string(std::get<0>(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_k" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace elastisim::workload

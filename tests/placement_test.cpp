@@ -1,0 +1,148 @@
+// Placement-policy behavior: which concrete nodes a job receives under
+// lowest-id, compact, and spread strategies, and the performance effect on
+// communication-heavy jobs over constrained pod links.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/batch_system.h"
+#include "core/scheduler.h"
+#include "test_support.h"
+
+namespace elastisim::core {
+namespace {
+
+using test::rigid_job;
+using test::tiny_platform;
+
+platform::ClusterConfig podded_platform(std::size_t nodes, std::size_t pod_size,
+                                        double pod_bandwidth = 1e12) {
+  auto config = tiny_platform(nodes);
+  config.topology = platform::TopologyKind::kFatTree;
+  config.pod_size = pod_size;
+  config.pod_bandwidth = pod_bandwidth;
+  return config;
+}
+
+struct Harness {
+  Harness(platform::ClusterConfig platform_config, PlacementPolicy policy)
+      : cluster(engine, platform_config),
+        batch(engine, cluster, make_scheduler("fcfs"), recorder, make_config(policy)) {}
+
+  static BatchConfig make_config(PlacementPolicy policy) {
+    BatchConfig config;
+    config.placement = policy;
+    return config;
+  }
+
+  std::set<std::size_t> pods_of(workload::JobId id) {
+    std::set<std::size_t> pods;
+    for (platform::NodeId node : batch.nodes_of(id)) pods.insert(cluster.pod_of(node));
+    return pods;
+  }
+
+  sim::Engine engine;
+  stats::Recorder recorder;
+  platform::Cluster cluster;
+  BatchSystem batch;
+};
+
+TEST(Placement, LowestIdTakesAscendingPrefix) {
+  Harness h(podded_platform(16, 4), PlacementPolicy::kLowestId);
+  h.batch.submit(rigid_job(1, 6, 100.0));
+  h.engine.run_until(1.0);
+  EXPECT_EQ(h.batch.nodes_of(1), (std::vector<platform::NodeId>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(Placement, CompactPrefersEmptiestPods) {
+  Harness h(podded_platform(16, 4), PlacementPolicy::kCompact);
+  // Occupy half of pod 0 so it is no longer the emptiest.
+  h.batch.submit(rigid_job(1, 2, 1000.0));
+  h.engine.run_until(1.0);
+  // A 4-node job should land in one fully free pod, not straddle pod 0.
+  h.batch.submit(rigid_job(2, 4, 100.0, /*submit=*/2.0));
+  h.engine.run_until(3.0);
+  EXPECT_EQ(h.pods_of(2).size(), 1u);
+  EXPECT_FALSE(h.pods_of(2).count(h.cluster.pod_of(h.batch.nodes_of(1)[0])));
+}
+
+TEST(Placement, CompactSpillsIntoFewestPods) {
+  Harness h(podded_platform(16, 4), PlacementPolicy::kCompact);
+  h.batch.submit(rigid_job(1, 6, 100.0));
+  h.engine.run_until(1.0);
+  EXPECT_EQ(h.pods_of(1).size(), 2u);  // ceil(6/4) pods, never 3
+}
+
+TEST(Placement, SpreadTouchesAllPods) {
+  Harness h(podded_platform(16, 4), PlacementPolicy::kSpread);
+  h.batch.submit(rigid_job(1, 4, 100.0));
+  h.engine.run_until(1.0);
+  EXPECT_EQ(h.pods_of(1).size(), 4u);  // one node per pod
+}
+
+TEST(Placement, SpreadBalancesCounts) {
+  Harness h(podded_platform(16, 4), PlacementPolicy::kSpread);
+  h.batch.submit(rigid_job(1, 8, 100.0));
+  h.engine.run_until(1.0);
+  std::map<std::size_t, int> per_pod;
+  for (platform::NodeId node : h.batch.nodes_of(1)) ++per_pod[h.cluster.pod_of(node)];
+  for (const auto& [pod, count] : per_pod) EXPECT_EQ(count, 2) << "pod " << pod;
+}
+
+TEST(Placement, AllPoliciesDeliverExactCount) {
+  for (auto policy :
+       {PlacementPolicy::kLowestId, PlacementPolicy::kCompact, PlacementPolicy::kSpread}) {
+    Harness h(podded_platform(16, 4), policy);
+    h.batch.submit(rigid_job(1, 5, 50.0));
+    h.batch.submit(rigid_job(2, 7, 50.0));
+    h.engine.run_until(1.0);
+    EXPECT_EQ(h.batch.nodes_of(1).size(), 5u);
+    EXPECT_EQ(h.batch.nodes_of(2).size(), 7u);
+    // No overlap between jobs.
+    std::set<platform::NodeId> all;
+    for (platform::NodeId node : h.batch.nodes_of(1)) all.insert(node);
+    for (platform::NodeId node : h.batch.nodes_of(2)) all.insert(node);
+    EXPECT_EQ(all.size(), 12u);
+  }
+}
+
+TEST(Placement, CompactBeatsSpreadOnPodBoundComm) {
+  // A 4-node all-to-all job on a fat-tree with weak pod uplinks: compact
+  // placement keeps all traffic inside one pod; spread forces it across the
+  // 1 GB/s pod links.
+  auto run_policy = [](PlacementPolicy policy) {
+    auto config = podded_platform(16, 4, /*pod_bandwidth=*/1e9);
+    config.link_bandwidth = 1e12;  // node links are not the constraint
+    Harness h(config, policy);
+    workload::Job job;
+    job.id = 1;
+    job.requested_nodes = job.min_nodes = job.max_nodes = 4;
+    workload::Phase phase;
+    phase.name = "exchange";
+    phase.groups.push_back(
+        {workload::Task{"a2a", workload::CommTask{workload::CommPattern::kAllToAll, 1e9}}});
+    job.application.phases.push_back(std::move(phase));
+    h.batch.submit(std::move(job));
+    h.engine.run();
+    return h.recorder.records()[0].end_time;
+  };
+  const double compact = run_policy(PlacementPolicy::kCompact);
+  const double spread = run_policy(PlacementPolicy::kSpread);
+  EXPECT_LT(compact * 2.0, spread);
+}
+
+TEST(Placement, PoliciesAreDeterministic) {
+  for (auto policy :
+       {PlacementPolicy::kLowestId, PlacementPolicy::kCompact, PlacementPolicy::kSpread}) {
+    auto run_once = [policy] {
+      Harness h(podded_platform(16, 4), policy);
+      h.batch.submit(rigid_job(1, 6, 50.0));
+      h.engine.run_until(1.0);
+      return h.batch.nodes_of(1);
+    };
+    EXPECT_EQ(run_once(), run_once());
+  }
+}
+
+}  // namespace
+}  // namespace elastisim::core

@@ -1,0 +1,133 @@
+// PriorityScheduler behavior: rank ordering, reservation for the blocked
+// leader, backfilling around it, and anti-starvation aging.
+#include <gtest/gtest.h>
+
+#include "core/batch_system.h"
+#include "core/schedulers.h"
+#include "test_support.h"
+#include "workload/generator.h"
+#include "workload/workload_io.h"
+
+namespace elastisim::core {
+namespace {
+
+using test::rigid_job;
+using test::tiny_platform;
+
+workload::Job priority_job(workload::Job job, int priority) {
+  job.priority = priority;
+  return job;
+}
+
+struct Harness {
+  explicit Harness(std::size_t nodes, double aging_seconds = 3600.0)
+      : cluster(engine, tiny_platform(nodes)),
+        batch(engine, cluster, std::make_unique<PriorityScheduler>(aging_seconds), recorder) {}
+
+  const stats::JobRecord& record(workload::JobId id) {
+    for (const auto& record : recorder.records()) {
+      if (record.id == id) return record;
+    }
+    ADD_FAILURE() << "no record for job " << id;
+    static stats::JobRecord dummy;
+    return dummy;
+  }
+
+  sim::Engine engine;
+  stats::Recorder recorder;
+  platform::Cluster cluster;
+  BatchSystem batch;
+};
+
+TEST(Priority, HigherPriorityStartsFirst) {
+  Harness h(2);
+  // Both queued while node is busy; high priority submitted later but wins.
+  h.batch.submit(rigid_job(1, 2, 30.0));
+  h.batch.submit(priority_job(rigid_job(2, 2, 10.0, 1.0), 0));
+  h.batch.submit(priority_job(rigid_job(3, 2, 10.0, 2.0), 5));
+  h.engine.run();
+  EXPECT_DOUBLE_EQ(h.record(3).start_time, 30.0);
+  EXPECT_DOUBLE_EQ(h.record(2).start_time, 40.0);
+}
+
+TEST(Priority, EqualPrioritiesFallBackToFcfs) {
+  Harness h(2);
+  h.batch.submit(rigid_job(1, 2, 30.0));
+  h.batch.submit(priority_job(rigid_job(2, 2, 10.0, 1.0), 3));
+  h.batch.submit(priority_job(rigid_job(3, 2, 10.0, 2.0), 3));
+  h.engine.run();
+  EXPECT_LT(h.record(2).start_time, h.record(3).start_time);
+}
+
+TEST(Priority, ReservationHeldForBlockedLeader) {
+  // Leader (4 nodes, prio 9) blocked behind a 3-node job; a low-priority
+  // 1-node long job must not backfill into the node the leader needs.
+  Harness h(4);
+  auto blocker = rigid_job(1, 3, 100.0);
+  blocker.walltime_limit = 100.0 + 1e-3;
+  h.batch.submit(std::move(blocker));
+  auto leader = priority_job(rigid_job(2, 4, 50.0, 1.0), 9);
+  leader.walltime_limit = 60.0;
+  h.batch.submit(std::move(leader));
+  auto lurker = priority_job(rigid_job(3, 1, 150.0, 2.0), 0);
+  lurker.walltime_limit = 200.0;
+  h.batch.submit(std::move(lurker));
+  h.engine.run();
+  EXPECT_NEAR(h.record(2).start_time, 100.0, 1e-3);
+  EXPECT_GE(h.record(3).start_time, 100.0);
+}
+
+TEST(Priority, BackfillsShortLowPriorityJob) {
+  Harness h(4);
+  auto blocker = rigid_job(1, 3, 100.0);
+  blocker.walltime_limit = 100.0 + 1e-3;
+  h.batch.submit(std::move(blocker));
+  auto leader = priority_job(rigid_job(2, 4, 50.0, 1.0), 9);
+  leader.walltime_limit = 60.0;
+  h.batch.submit(std::move(leader));
+  auto filler = priority_job(rigid_job(3, 1, 10.0, 2.0), 0);
+  filler.walltime_limit = 50.0;  // fits before the leader's shadow time
+  h.batch.submit(std::move(filler));
+  h.engine.run();
+  EXPECT_NEAR(h.record(3).start_time, 2.0, 1e-6);
+  EXPECT_NEAR(h.record(2).start_time, 100.0, 1e-3);
+}
+
+TEST(Priority, AgingLiftsStarvedJobs) {
+  // With a 10-second aging constant, a prio-0 job waiting 100 s outranks a
+  // fresh prio-5 job.
+  Harness h(2, /*aging_seconds=*/10.0);
+  h.batch.submit(rigid_job(1, 2, 120.0));
+  h.batch.submit(priority_job(rigid_job(2, 2, 10.0, 1.0), 0));   // waits 119 s
+  h.batch.submit(priority_job(rigid_job(3, 2, 10.0, 115.0), 5));  // waits 5 s
+  h.engine.run();
+  // Job 2's effective priority at t=120 is ~11.9 > 5.5.
+  EXPECT_DOUBLE_EQ(h.record(2).start_time, 120.0);
+  EXPECT_DOUBLE_EQ(h.record(3).start_time, 130.0);
+}
+
+TEST(Priority, RoundTripsThroughJsonWorkloads) {
+  workload::Job job = rigid_job(1, 2, 10.0);
+  job.priority = 7;
+  const workload::Job back = workload::job_from_json(workload::job_to_json(job));
+  EXPECT_EQ(back.priority, 7);
+  // Neutral priority stays implicit in the serialized form.
+  workload::Job neutral = rigid_job(2, 2, 10.0);
+  EXPECT_EQ(workload::job_to_json(neutral).find("priority"), nullptr);
+}
+
+TEST(Priority, GeneratorDrawsWithinBound) {
+  workload::GeneratorConfig config;
+  config.job_count = 200;
+  config.max_priority = 4;
+  bool nonzero = false;
+  for (const workload::Job& job : workload::generate_workload(config)) {
+    EXPECT_GE(job.priority, 0);
+    EXPECT_LE(job.priority, 4);
+    if (job.priority > 0) nonzero = true;
+  }
+  EXPECT_TRUE(nonzero);
+}
+
+}  // namespace
+}  // namespace elastisim::core

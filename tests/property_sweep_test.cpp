@@ -1,0 +1,136 @@
+// Parameterized property sweep: every scheduling algorithm x workload mix x
+// topology must satisfy the simulator's global invariants. Each combination
+// is its own test case so a regression pinpoints the exact configuration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/simulation.h"
+#include "test_support.h"
+#include "workload/generator.h"
+
+namespace elastisim {
+namespace {
+
+struct SweepCase {
+  std::string scheduler;
+  double malleable_fraction;
+  platform::TopologyKind topology;
+};
+
+class SimulationProperties : public testing::TestWithParam<SweepCase> {
+ protected:
+  core::SimulationResult run() {
+    const SweepCase& param = GetParam();
+    core::SimulationConfig config;
+    config.platform = test::tiny_platform(16);
+    config.platform.topology = param.topology;
+    config.platform.pod_size = 4;
+    config.platform.pod_bandwidth = 1e12;
+    config.scheduler = param.scheduler;
+
+    workload::GeneratorConfig generator;
+    generator.job_count = 30;
+    generator.seed = 1234;
+    generator.max_nodes = 8;
+    generator.malleable_fraction = param.malleable_fraction;
+    generator.evolving_fraction =
+        param.malleable_fraction > 0.0 && param.malleable_fraction < 1.0 ? 0.1 : 0.0;
+    generator.io_fraction = 0.25;
+    generator.flops_per_node = 1e9;
+    generator.max_priority = 3;
+    return core::run_simulation(config, workload::generate_workload(generator));
+  }
+};
+
+TEST_P(SimulationProperties, EveryJobCompletesExactlyOnce) {
+  auto result = run();
+  EXPECT_EQ(result.finished + result.killed, 30u);
+  EXPECT_EQ(result.stuck, 0u);
+  std::size_t finished_records = 0;
+  for (const auto& record : result.recorder.records()) {
+    if (record.finished()) ++finished_records;
+  }
+  EXPECT_EQ(finished_records, result.finished + result.killed);
+}
+
+TEST_P(SimulationProperties, TimesAreCausallyOrdered) {
+  auto result = run();
+  for (const auto& record : result.recorder.records()) {
+    ASSERT_TRUE(record.started());
+    EXPECT_GE(record.start_time, record.submit_time - 1e-9);
+    EXPECT_GE(record.end_time, record.start_time - 1e-9);
+  }
+}
+
+TEST_P(SimulationProperties, AllocationsStayWithinJobBounds) {
+  auto result = run();
+  for (const auto& record : result.recorder.records()) {
+    EXPECT_GE(record.initial_nodes, 1);
+    EXPECT_LE(record.initial_nodes, 16);
+    EXPECT_GE(record.final_nodes, 1);
+    EXPECT_LE(record.final_nodes, 16);
+  }
+}
+
+TEST_P(SimulationProperties, TimelineNeverExceedsClusterOrGoesNegative) {
+  auto result = run();
+  for (const auto& point : result.recorder.timeline()) {
+    EXPECT_GE(point.allocated_nodes, 0);
+    EXPECT_LE(point.allocated_nodes, 16);
+  }
+}
+
+TEST_P(SimulationProperties, NodeSecondsConserved) {
+  auto result = run();
+  double from_jobs = 0.0;
+  for (const auto& record : result.recorder.records()) {
+    EXPECT_GE(record.node_seconds, 0.0);
+    from_jobs += record.node_seconds;
+  }
+  double from_timeline = 0.0;
+  const auto& timeline = result.recorder.timeline();
+  for (std::size_t i = 0; i + 1 < timeline.size(); ++i) {
+    from_timeline += timeline[i].allocated_nodes * (timeline[i + 1].time - timeline[i].time);
+  }
+  EXPECT_NEAR(from_jobs, from_timeline, 1e-6 * std::max(1.0, from_jobs));
+}
+
+TEST_P(SimulationProperties, UserUsageSumsToTotalNodeSeconds) {
+  auto result = run();
+  double total = 0.0;
+  for (const auto& record : result.recorder.records()) total += record.node_seconds;
+  double by_user = 0.0;
+  for (const auto& [user, seconds] :
+       result.recorder.node_seconds_by_user(result.makespan)) {
+    by_user += seconds;
+  }
+  EXPECT_NEAR(by_user, total, 1e-6 * std::max(1.0, total));
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const std::string& scheduler : core::scheduler_names()) {
+    for (const double fraction : {0.0, 0.5}) {
+      cases.push_back({scheduler, fraction, platform::TopologyKind::kFatTree});
+    }
+    cases.push_back({scheduler, 1.0, platform::TopologyKind::kTorus});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(SchedulerMixTopology, SimulationProperties,
+                         testing::ValuesIn(sweep_cases()),
+                         [](const testing::TestParamInfo<SweepCase>& info) {
+                           std::string name = info.param.scheduler + "_m" +
+                                              std::to_string(static_cast<int>(
+                                                  info.param.malleable_fraction * 100)) +
+                                              "_" + platform::to_string(info.param.topology);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace elastisim

@@ -1,0 +1,60 @@
+// Shared builders for core-layer tests: small clusters and hand-crafted jobs
+// with exactly predictable timings.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "platform/cluster.h"
+#include "workload/job.h"
+
+namespace elastisim::test {
+
+/// Star cluster with 1-core 1-GFLOP/s nodes and generous bandwidth, so
+/// compute times are exact and network effects are negligible unless a test
+/// opts into tight bandwidths.
+inline platform::ClusterConfig tiny_platform(std::size_t nodes) {
+  platform::ClusterConfig config;
+  config.topology = platform::TopologyKind::kStar;
+  config.node_count = nodes;
+  config.cores_per_node = 1;
+  config.flops_per_core = 1e9;
+  config.link_bandwidth = 1e12;
+  config.pfs.read_bandwidth = 1e12;
+  config.pfs.write_bandwidth = 1e12;
+  return config;
+}
+
+/// A strong-scaling compute job that takes exactly `seconds_at_requested`
+/// seconds per iteration when run on `requested` nodes of the tiny platform
+/// (and requested/k times that on k nodes).
+inline workload::Job compute_job(workload::JobId id, workload::JobType type, int requested,
+                                 double seconds_at_requested, int min_nodes, int max_nodes,
+                                 double submit = 0.0, int iterations = 1) {
+  workload::Job job;
+  job.id = id;
+  job.name = "job" + std::to_string(id);
+  job.type = type;
+  job.submit_time = submit;
+  job.requested_nodes = requested;
+  job.min_nodes = min_nodes;
+  job.max_nodes = max_nodes;
+  workload::Phase phase;
+  phase.name = "main";
+  phase.iterations = iterations;
+  phase.groups.push_back({workload::Task{
+      "compute",
+      workload::ComputeTask{seconds_at_requested * 1e9 * requested,
+                            workload::ScalingModel::kStrong, 0.0}}});
+  job.application.phases.push_back(std::move(phase));
+  return job;
+}
+
+inline workload::Job rigid_job(workload::JobId id, int nodes, double seconds,
+                               double submit = 0.0, int iterations = 1) {
+  return compute_job(id, workload::JobType::kRigid, nodes, seconds, nodes, nodes, submit,
+                     iterations);
+}
+
+}  // namespace elastisim::test
