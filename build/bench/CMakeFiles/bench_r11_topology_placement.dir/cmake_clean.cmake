@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r11_topology_placement.dir/bench_r11_topology_placement.cpp.o"
+  "CMakeFiles/bench_r11_topology_placement.dir/bench_r11_topology_placement.cpp.o.d"
+  "bench_r11_topology_placement"
+  "bench_r11_topology_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r11_topology_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

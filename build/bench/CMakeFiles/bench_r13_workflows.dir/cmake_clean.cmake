@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r13_workflows.dir/bench_r13_workflows.cpp.o"
+  "CMakeFiles/bench_r13_workflows.dir/bench_r13_workflows.cpp.o.d"
+  "bench_r13_workflows"
+  "bench_r13_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r13_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

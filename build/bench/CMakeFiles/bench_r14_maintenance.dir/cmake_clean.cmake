@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r14_maintenance.dir/bench_r14_maintenance.cpp.o"
+  "CMakeFiles/bench_r14_maintenance.dir/bench_r14_maintenance.cpp.o.d"
+  "bench_r14_maintenance"
+  "bench_r14_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r14_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

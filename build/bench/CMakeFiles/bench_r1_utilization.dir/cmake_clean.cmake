@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r1_utilization.dir/bench_r1_utilization.cpp.o"
+  "CMakeFiles/bench_r1_utilization.dir/bench_r1_utilization.cpp.o.d"
+  "bench_r1_utilization"
+  "bench_r1_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r1_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r2_makespan_fraction.dir/bench_r2_makespan_fraction.cpp.o"
+  "CMakeFiles/bench_r2_makespan_fraction.dir/bench_r2_makespan_fraction.cpp.o.d"
+  "bench_r2_makespan_fraction"
+  "bench_r2_makespan_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r2_makespan_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

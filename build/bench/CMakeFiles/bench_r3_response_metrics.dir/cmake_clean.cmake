@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r3_response_metrics.dir/bench_r3_response_metrics.cpp.o"
+  "CMakeFiles/bench_r3_response_metrics.dir/bench_r3_response_metrics.cpp.o.d"
+  "bench_r3_response_metrics"
+  "bench_r3_response_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r3_response_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r4_scheduler_comparison.dir/bench_r4_scheduler_comparison.cpp.o"
+  "CMakeFiles/bench_r4_scheduler_comparison.dir/bench_r4_scheduler_comparison.cpp.o.d"
+  "bench_r4_scheduler_comparison"
+  "bench_r4_scheduler_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r4_scheduler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r5_io_interference.dir/bench_r5_io_interference.cpp.o"
+  "CMakeFiles/bench_r5_io_interference.dir/bench_r5_io_interference.cpp.o.d"
+  "bench_r5_io_interference"
+  "bench_r5_io_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r5_io_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_r5_io_interference.
+# This may be replaced when dependencies are built.

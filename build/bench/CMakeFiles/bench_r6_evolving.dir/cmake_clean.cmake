@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r6_evolving.dir/bench_r6_evolving.cpp.o"
+  "CMakeFiles/bench_r6_evolving.dir/bench_r6_evolving.cpp.o.d"
+  "bench_r6_evolving"
+  "bench_r6_evolving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r6_evolving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r8_sim_performance.dir/bench_r8_sim_performance.cpp.o"
+  "CMakeFiles/bench_r8_sim_performance.dir/bench_r8_sim_performance.cpp.o.d"
+  "bench_r8_sim_performance"
+  "bench_r8_sim_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r8_sim_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

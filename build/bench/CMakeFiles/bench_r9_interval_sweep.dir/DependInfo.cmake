@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_r9_interval_sweep.cpp" "bench/CMakeFiles/bench_r9_interval_sweep.dir/bench_r9_interval_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_r9_interval_sweep.dir/bench_r9_interval_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/elsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/elsim_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/elsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/elsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/elsim_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_r9_interval_sweep.dir/bench_r9_interval_sweep.cpp.o"
+  "CMakeFiles/bench_r9_interval_sweep.dir/bench_r9_interval_sweep.cpp.o.d"
+  "bench_r9_interval_sweep"
+  "bench_r9_interval_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_r9_interval_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evolving_adaptive.dir/evolving_adaptive.cpp.o"
+  "CMakeFiles/evolving_adaptive.dir/evolving_adaptive.cpp.o.d"
+  "evolving_adaptive"
+  "evolving_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evolving_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_contention_campaign.dir/io_contention_campaign.cpp.o"
+  "CMakeFiles/io_contention_campaign.dir/io_contention_campaign.cpp.o.d"
+  "io_contention_campaign"
+  "io_contention_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_contention_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

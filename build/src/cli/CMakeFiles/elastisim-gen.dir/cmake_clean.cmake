@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastisim-gen.dir/gen_main.cpp.o"
+  "CMakeFiles/elastisim-gen.dir/gen_main.cpp.o.d"
+  "elastisim-gen"
+  "elastisim-gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastisim-gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

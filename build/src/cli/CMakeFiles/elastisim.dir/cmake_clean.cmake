@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastisim.dir/main.cpp.o"
+  "CMakeFiles/elastisim.dir/main.cpp.o.d"
+  "elastisim"
+  "elastisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for elastisim.
+# This may be replaced when dependencies are built.

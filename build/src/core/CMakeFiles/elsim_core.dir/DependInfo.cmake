@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_system.cpp" "src/core/CMakeFiles/elsim_core.dir/batch_system.cpp.o" "gcc" "src/core/CMakeFiles/elsim_core.dir/batch_system.cpp.o.d"
+  "/root/repo/src/core/job_execution.cpp" "src/core/CMakeFiles/elsim_core.dir/job_execution.cpp.o" "gcc" "src/core/CMakeFiles/elsim_core.dir/job_execution.cpp.o.d"
+  "/root/repo/src/core/scheduler.cpp" "src/core/CMakeFiles/elsim_core.dir/scheduler.cpp.o" "gcc" "src/core/CMakeFiles/elsim_core.dir/scheduler.cpp.o.d"
+  "/root/repo/src/core/schedulers/conservative.cpp" "src/core/CMakeFiles/elsim_core.dir/schedulers/conservative.cpp.o" "gcc" "src/core/CMakeFiles/elsim_core.dir/schedulers/conservative.cpp.o.d"
+  "/root/repo/src/core/schedulers/easy_backfill.cpp" "src/core/CMakeFiles/elsim_core.dir/schedulers/easy_backfill.cpp.o" "gcc" "src/core/CMakeFiles/elsim_core.dir/schedulers/easy_backfill.cpp.o.d"
+  "/root/repo/src/core/schedulers/fcfs.cpp" "src/core/CMakeFiles/elsim_core.dir/schedulers/fcfs.cpp.o" "gcc" "src/core/CMakeFiles/elsim_core.dir/schedulers/fcfs.cpp.o.d"
+  "/root/repo/src/core/schedulers/malleable.cpp" "src/core/CMakeFiles/elsim_core.dir/schedulers/malleable.cpp.o" "gcc" "src/core/CMakeFiles/elsim_core.dir/schedulers/malleable.cpp.o.d"
+  "/root/repo/src/core/schedulers/priority.cpp" "src/core/CMakeFiles/elsim_core.dir/schedulers/priority.cpp.o" "gcc" "src/core/CMakeFiles/elsim_core.dir/schedulers/priority.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/elsim_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/elsim_core.dir/simulation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/elsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/elsim_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/elsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/elsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/elsim_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

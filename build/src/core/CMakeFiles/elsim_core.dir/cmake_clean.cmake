@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsim_core.dir/batch_system.cpp.o"
+  "CMakeFiles/elsim_core.dir/batch_system.cpp.o.d"
+  "CMakeFiles/elsim_core.dir/job_execution.cpp.o"
+  "CMakeFiles/elsim_core.dir/job_execution.cpp.o.d"
+  "CMakeFiles/elsim_core.dir/scheduler.cpp.o"
+  "CMakeFiles/elsim_core.dir/scheduler.cpp.o.d"
+  "CMakeFiles/elsim_core.dir/schedulers/conservative.cpp.o"
+  "CMakeFiles/elsim_core.dir/schedulers/conservative.cpp.o.d"
+  "CMakeFiles/elsim_core.dir/schedulers/easy_backfill.cpp.o"
+  "CMakeFiles/elsim_core.dir/schedulers/easy_backfill.cpp.o.d"
+  "CMakeFiles/elsim_core.dir/schedulers/fcfs.cpp.o"
+  "CMakeFiles/elsim_core.dir/schedulers/fcfs.cpp.o.d"
+  "CMakeFiles/elsim_core.dir/schedulers/malleable.cpp.o"
+  "CMakeFiles/elsim_core.dir/schedulers/malleable.cpp.o.d"
+  "CMakeFiles/elsim_core.dir/schedulers/priority.cpp.o"
+  "CMakeFiles/elsim_core.dir/schedulers/priority.cpp.o.d"
+  "CMakeFiles/elsim_core.dir/simulation.cpp.o"
+  "CMakeFiles/elsim_core.dir/simulation.cpp.o.d"
+  "libelsim_core.a"
+  "libelsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

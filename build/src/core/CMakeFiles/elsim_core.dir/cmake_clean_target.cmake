@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libelsim_core.a"
+)

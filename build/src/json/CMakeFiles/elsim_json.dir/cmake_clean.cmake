@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsim_json.dir/json.cpp.o"
+  "CMakeFiles/elsim_json.dir/json.cpp.o.d"
+  "libelsim_json.a"
+  "libelsim_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsim_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsim_platform.dir/cluster.cpp.o"
+  "CMakeFiles/elsim_platform.dir/cluster.cpp.o.d"
+  "CMakeFiles/elsim_platform.dir/loader.cpp.o"
+  "CMakeFiles/elsim_platform.dir/loader.cpp.o.d"
+  "libelsim_platform.a"
+  "libelsim_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsim_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsim_sim.dir/engine.cpp.o"
+  "CMakeFiles/elsim_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/elsim_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/elsim_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/elsim_sim.dir/fluid.cpp.o"
+  "CMakeFiles/elsim_sim.dir/fluid.cpp.o.d"
+  "libelsim_sim.a"
+  "libelsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsim_stats.dir/metrics.cpp.o"
+  "CMakeFiles/elsim_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/elsim_stats.dir/trace.cpp.o"
+  "CMakeFiles/elsim_stats.dir/trace.cpp.o.d"
+  "libelsim_stats.a"
+  "libelsim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

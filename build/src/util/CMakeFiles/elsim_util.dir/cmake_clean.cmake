@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsim_util.dir/csv.cpp.o"
+  "CMakeFiles/elsim_util.dir/csv.cpp.o.d"
+  "CMakeFiles/elsim_util.dir/flags.cpp.o"
+  "CMakeFiles/elsim_util.dir/flags.cpp.o.d"
+  "CMakeFiles/elsim_util.dir/log.cpp.o"
+  "CMakeFiles/elsim_util.dir/log.cpp.o.d"
+  "CMakeFiles/elsim_util.dir/rng.cpp.o"
+  "CMakeFiles/elsim_util.dir/rng.cpp.o.d"
+  "CMakeFiles/elsim_util.dir/units.cpp.o"
+  "CMakeFiles/elsim_util.dir/units.cpp.o.d"
+  "libelsim_util.a"
+  "libelsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

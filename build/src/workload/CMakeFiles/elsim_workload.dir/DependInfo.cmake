@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/application.cpp" "src/workload/CMakeFiles/elsim_workload.dir/application.cpp.o" "gcc" "src/workload/CMakeFiles/elsim_workload.dir/application.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/elsim_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/elsim_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/job.cpp" "src/workload/CMakeFiles/elsim_workload.dir/job.cpp.o" "gcc" "src/workload/CMakeFiles/elsim_workload.dir/job.cpp.o.d"
+  "/root/repo/src/workload/patterns.cpp" "src/workload/CMakeFiles/elsim_workload.dir/patterns.cpp.o" "gcc" "src/workload/CMakeFiles/elsim_workload.dir/patterns.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/workload/CMakeFiles/elsim_workload.dir/swf.cpp.o" "gcc" "src/workload/CMakeFiles/elsim_workload.dir/swf.cpp.o.d"
+  "/root/repo/src/workload/workload_io.cpp" "src/workload/CMakeFiles/elsim_workload.dir/workload_io.cpp.o" "gcc" "src/workload/CMakeFiles/elsim_workload.dir/workload_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/json/CMakeFiles/elsim_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elsim_workload.dir/application.cpp.o"
+  "CMakeFiles/elsim_workload.dir/application.cpp.o.d"
+  "CMakeFiles/elsim_workload.dir/generator.cpp.o"
+  "CMakeFiles/elsim_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/elsim_workload.dir/job.cpp.o"
+  "CMakeFiles/elsim_workload.dir/job.cpp.o.d"
+  "CMakeFiles/elsim_workload.dir/patterns.cpp.o"
+  "CMakeFiles/elsim_workload.dir/patterns.cpp.o.d"
+  "CMakeFiles/elsim_workload.dir/swf.cpp.o"
+  "CMakeFiles/elsim_workload.dir/swf.cpp.o.d"
+  "CMakeFiles/elsim_workload.dir/workload_io.cpp.o"
+  "CMakeFiles/elsim_workload.dir/workload_io.cpp.o.d"
+  "libelsim_workload.a"
+  "libelsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

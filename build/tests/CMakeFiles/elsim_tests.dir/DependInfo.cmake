@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytic_validation_test.cpp" "tests/CMakeFiles/elsim_tests.dir/analytic_validation_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/analytic_validation_test.cpp.o.d"
+  "/root/repo/tests/batch_system_test.cpp" "tests/CMakeFiles/elsim_tests.dir/batch_system_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/batch_system_test.cpp.o.d"
+  "/root/repo/tests/cluster_test.cpp" "tests/CMakeFiles/elsim_tests.dir/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/dependency_test.cpp" "tests/CMakeFiles/elsim_tests.dir/dependency_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/dependency_test.cpp.o.d"
+  "/root/repo/tests/event_queue_test.cpp" "tests/CMakeFiles/elsim_tests.dir/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/event_queue_test.cpp.o.d"
+  "/root/repo/tests/failure_test.cpp" "tests/CMakeFiles/elsim_tests.dir/failure_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/failure_test.cpp.o.d"
+  "/root/repo/tests/fair_share_test.cpp" "tests/CMakeFiles/elsim_tests.dir/fair_share_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/fair_share_test.cpp.o.d"
+  "/root/repo/tests/fluid_test.cpp" "tests/CMakeFiles/elsim_tests.dir/fluid_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/fluid_test.cpp.o.d"
+  "/root/repo/tests/gpu_test.cpp" "tests/CMakeFiles/elsim_tests.dir/gpu_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/gpu_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/elsim_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/job_execution_test.cpp" "tests/CMakeFiles/elsim_tests.dir/job_execution_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/job_execution_test.cpp.o.d"
+  "/root/repo/tests/json_test.cpp" "tests/CMakeFiles/elsim_tests.dir/json_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/json_test.cpp.o.d"
+  "/root/repo/tests/kernel_edge_test.cpp" "tests/CMakeFiles/elsim_tests.dir/kernel_edge_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/kernel_edge_test.cpp.o.d"
+  "/root/repo/tests/latency_test.cpp" "tests/CMakeFiles/elsim_tests.dir/latency_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/latency_test.cpp.o.d"
+  "/root/repo/tests/maintenance_test.cpp" "tests/CMakeFiles/elsim_tests.dir/maintenance_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/maintenance_test.cpp.o.d"
+  "/root/repo/tests/metrics_test.cpp" "tests/CMakeFiles/elsim_tests.dir/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/metrics_test.cpp.o.d"
+  "/root/repo/tests/patterns_test.cpp" "tests/CMakeFiles/elsim_tests.dir/patterns_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/patterns_test.cpp.o.d"
+  "/root/repo/tests/placement_test.cpp" "tests/CMakeFiles/elsim_tests.dir/placement_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/placement_test.cpp.o.d"
+  "/root/repo/tests/priority_test.cpp" "tests/CMakeFiles/elsim_tests.dir/priority_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/priority_test.cpp.o.d"
+  "/root/repo/tests/property_sweep_test.cpp" "tests/CMakeFiles/elsim_tests.dir/property_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/property_sweep_test.cpp.o.d"
+  "/root/repo/tests/scheduler_edge_test.cpp" "tests/CMakeFiles/elsim_tests.dir/scheduler_edge_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/scheduler_edge_test.cpp.o.d"
+  "/root/repo/tests/schedulers_test.cpp" "tests/CMakeFiles/elsim_tests.dir/schedulers_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/schedulers_test.cpp.o.d"
+  "/root/repo/tests/trace_test.cpp" "tests/CMakeFiles/elsim_tests.dir/trace_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/trace_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/elsim_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/workload_test.cpp" "tests/CMakeFiles/elsim_tests.dir/workload_test.cpp.o" "gcc" "tests/CMakeFiles/elsim_tests.dir/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/elsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/elsim_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/elsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/elsim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/elsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/elsim_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/elsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

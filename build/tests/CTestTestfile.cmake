@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/elsim_tests[1]_include.cmake")
+add_test(cli_json_workload "/root/repo/build/src/cli/elastisim" "--platform" "/root/repo/data/platform_small.json" "--workload" "/root/repo/data/workload_demo.json" "--out-dir" "/root/repo/build/cli_smoke" "--trace")
+set_tests_properties(cli_json_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_generated_workload "/root/repo/build/src/cli/elastisim-gen" "--jobs" "15" "--malleable" "0.5" "--seed" "9" "--out" "/root/repo/build/cli_smoke_workload.json")
+set_tests_properties(cli_generated_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;41;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_run_generated "/root/repo/build/src/cli/elastisim" "--platform" "/root/repo/data/platform_small.json" "--workload" "/root/repo/build/cli_smoke_workload.json" "--scheduler" "fair-share" "--out-dir" "/root/repo/build/cli_smoke2")
+set_tests_properties(cli_run_generated PROPERTIES  DEPENDS "cli_generated_workload" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;44;add_test;/root/repo/tests/CMakeLists.txt;0;")
