@@ -6,11 +6,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "core/simulation.h"
+#include "json/json.h"
 #include "platform/cluster.h"
+#include "stats/telemetry.h"
 #include "workload/generator.h"
 
 namespace elastisim::bench {
@@ -62,8 +66,65 @@ inline core::SimulationResult run(const platform::ClusterConfig& platform,
   config.platform = platform;
   config.scheduler = scheduler;
   config.batch = batch;
-  return core::run_simulation(config, std::move(jobs));
+  const double wall_begin = telemetry::enabled() ? telemetry::wall_now() : 0.0;
+  core::SimulationResult result = core::run_simulation(config, std::move(jobs));
+  if (telemetry::enabled()) {
+    auto& registry = telemetry::Registry::global();
+    registry.counter("bench.runs").add();
+    registry.counter("bench.events").add(result.events_processed);
+    registry.histogram("bench.run_seconds").record(telemetry::wall_now() - wall_begin);
+    registry.spans().add("bench.run (" + scheduler + ")", wall_begin,
+                         telemetry::wall_now() - wall_begin, result.events_processed);
+  }
+  return result;
 }
+
+/// Opt-in telemetry for the experiment harnesses: when the environment
+/// variable ELSIM_BENCH_TELEMETRY is set, enables collection for the
+/// harness's lifetime and writes <dir>/<name>.telemetry.json on destruction
+/// (the variable's value is the directory; "1" means the working directory).
+/// Every bench::run() records events/sec and per-run phase histograms, so
+/// any bench_r* binary can be profiled without a rebuild:
+///   ELSIM_BENCH_TELEMETRY=out ./bench_r3_scheduler_comparison
+class TelemetryScope {
+ public:
+  explicit TelemetryScope(std::string name) : name_(std::move(name)) {
+    const char* dir = std::getenv("ELSIM_BENCH_TELEMETRY");
+    if (!dir || !*dir) return;
+    dir_ = std::string(dir) == "1" ? "." : dir;
+    telemetry::set_enabled(true);
+    start_ = telemetry::wall_now();
+  }
+  TelemetryScope(const TelemetryScope&) = delete;
+  TelemetryScope& operator=(const TelemetryScope&) = delete;
+
+  ~TelemetryScope() {
+    if (dir_.empty()) return;
+    auto& registry = telemetry::Registry::global();
+    const double wall = telemetry::wall_now() - start_;
+    const auto events = registry.counter("bench.events").value();
+    json::Object out;
+    out["bench"] = name_;
+    out["wall_seconds"] = wall;
+    out["events"] = static_cast<std::int64_t>(events);
+    out["events_per_second"] = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+    out["registry"] = registry.to_json();
+    try {
+      std::filesystem::create_directories(dir_);
+      json::write_file(dir_ + "/" + name_ + ".telemetry.json",
+                       json::Value(std::move(out)));
+      std::fprintf(stderr, "telemetry: wrote %s/%s.telemetry.json\n", dir_.c_str(),
+                   name_.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "telemetry: write failed: %s\n", error.what());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string dir_;
+  double start_ = 0.0;
+};
 
 /// Prints "# <title>" followed by a CSV header — the harness convention.
 inline void table_header(const std::string& title, const std::string& columns) {

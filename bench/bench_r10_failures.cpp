@@ -58,6 +58,7 @@ Outcome run_with_failures(const std::string& scheduler, core::FailurePolicy poli
 }  // namespace
 
 int main() {
+  bench::TelemetryScope telemetry("bench_r10_failures");
   bench::table_header(
       "R10 resilience under node failures (128 nodes, 200 jobs, 30 min repair)",
       "failures_per_hour,scheduler,policy,makespan_s,mean_wait_s,killed,requeues,unfinished");

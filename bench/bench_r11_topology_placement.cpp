@@ -11,6 +11,7 @@
 using namespace elastisim;
 
 int main() {
+  bench::TelemetryScope telemetry("bench_r11_topology_placement");
   auto generator = bench::reference_workload(/*malleable_fraction=*/0.0, /*jobs=*/150);
   // Heavier, latency-tolerant exchanges so the interconnect matters.
   generator.comm_bytes = 4.0 * 1024 * 1024 * 1024;

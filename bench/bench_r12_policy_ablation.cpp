@@ -35,6 +35,7 @@ class AblatedScheduler final : public core::Scheduler {
 }  // namespace
 
 int main() {
+  bench::TelemetryScope telemetry("bench_r12_policy_ablation");
   const auto platform = bench::reference_platform();
   const auto generator = bench::reference_workload(/*malleable_fraction=*/0.75);
 

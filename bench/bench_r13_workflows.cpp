@@ -8,6 +8,7 @@
 using namespace elastisim;
 
 int main() {
+  bench::TelemetryScope telemetry("bench_r13_workflows");
   const auto platform = bench::reference_platform();
 
   bench::table_header(

@@ -10,6 +10,7 @@
 using namespace elastisim;
 
 int main() {
+  bench::TelemetryScope telemetry("bench_r1_utilization");
   const auto platform = bench::reference_platform();
   const auto generator = bench::reference_workload(/*malleable_fraction=*/0.5);
 

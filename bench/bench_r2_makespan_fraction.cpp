@@ -7,6 +7,7 @@
 using namespace elastisim;
 
 int main() {
+  bench::TelemetryScope telemetry("bench_r2_makespan_fraction");
   const auto platform = bench::reference_platform();
   const char* schedulers[] = {"easy", "fcfs-malleable", "easy-malleable"};
 

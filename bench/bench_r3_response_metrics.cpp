@@ -7,6 +7,7 @@
 using namespace elastisim;
 
 int main() {
+  bench::TelemetryScope telemetry("bench_r3_response_metrics");
   const auto platform = bench::reference_platform();
 
   bench::table_header(

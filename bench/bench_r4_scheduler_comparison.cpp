@@ -8,6 +8,7 @@
 using namespace elastisim;
 
 int main() {
+  bench::TelemetryScope telemetry("bench_r4_scheduler_comparison");
   const auto platform = bench::reference_platform();
 
   struct Mix {

@@ -60,6 +60,7 @@ double runtime_of(const stats::Recorder& recorder, workload::JobId id) {
 }  // namespace
 
 int main() {
+  bench::TelemetryScope telemetry("bench_r5_io_interference");
   auto platform = bench::reference_platform(64);
   // Tighten the PFS so interference is visible against 12.5 GB/s links:
   // 16 writer nodes alone can saturate 40 GB/s.

@@ -8,6 +8,7 @@
 using namespace elastisim;
 
 int main() {
+  bench::TelemetryScope telemetry("bench_r7_reconfig_ablation");
   const auto platform = bench::reference_platform();
 
   // Rigid baseline for reference.

@@ -106,4 +106,15 @@ BENCHMARK(BM_FluidRebalance)->Arg(16)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() so the telemetry scope brackets the whole run:
+// ELSIM_BENCH_TELEMETRY=<dir> additionally writes
+// <dir>/bench_r8_sim_performance.telemetry.json with per-run phase
+// histograms next to google-benchmark's own output.
+int main(int argc, char** argv) {
+  bench::TelemetryScope telemetry("bench_r8_sim_performance");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -8,6 +8,7 @@
 using namespace elastisim;
 
 int main() {
+  bench::TelemetryScope telemetry("bench_r9_interval_sweep");
   const auto platform = bench::reference_platform();
   const auto generator = bench::reference_workload(/*malleable_fraction=*/0.5);
 

@@ -8,10 +8,13 @@
 //             [--swf-cores-per-node 48] [--swf-malleable 0.0] ...
 //
 // Runs the workload on the platform under the chosen algorithm and writes
-//   <out-dir>/jobs.csv      per-job records,
-//   <out-dir>/timeline.csv  allocated-node step function,
-//   <out-dir>/summary.json  headline metrics,
-// printing the summary to stdout as well.
+//   <out-dir>/jobs.csv        per-job records,
+//   <out-dir>/timeline.csv    allocated-node step function,
+//   <out-dir>/summary.json    headline metrics,
+//   <out-dir>/telemetry.json  counters/gauges/histograms (with --telemetry),
+// printing the summary to stdout as well. --chrome-trace <file> additionally
+// writes a Chrome trace_event JSON viewable in Perfetto (see
+// docs/OBSERVABILITY.md).
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -20,6 +23,8 @@
 
 #include "core/simulation.h"
 #include "json/json.h"
+#include "stats/chrome_trace.h"
+#include "stats/telemetry.h"
 #include "stats/trace.h"
 #include "platform/loader.h"
 #include "util/flags.h"
@@ -36,7 +41,8 @@ void usage(const char* program) {
   std::fprintf(stderr,
                "usage: %s --platform <file.json> (--workload <file.json> | --swf <trace>)\n"
                "          [--scheduler <name>] [--interval <seconds>] [--no-reconfig-cost]\n"
-               "          [--out-dir <dir>] [--trace] [--log <level>]\n\n"
+               "          [--out-dir <dir>] [--trace] [--telemetry]\n"
+               "          [--chrome-trace <file.json>] [--log <level>]\n\n"
                "schedulers:",
                program);
   for (const std::string& name : core::scheduler_names()) {
@@ -109,12 +115,22 @@ int main(int argc, char** argv) {
 
     const std::string out_dir = flags.get("out-dir", std::string("results"));
     const bool want_trace = flags.get("trace", false);
+    const std::string chrome_path = flags.get("chrome-trace", std::string());
+    // A bare "--chrome-trace" parses as the boolean value "true"; demand a
+    // real path instead of silently writing a file named "true".
+    if (flags.has("chrome-trace") && (chrome_path.empty() || chrome_path == "true")) {
+      std::fprintf(stderr, "error: --chrome-trace requires a file path\n");
+      usage(argv[0]);
+      return 2;
+    }
+    const bool want_telemetry = flags.get("telemetry", false) || !chrome_path.empty();
     for (const std::string& unknown : flags.unused()) {
       ELSIM_WARN("unknown flag --{} ignored", unknown);
     }
+    if (want_telemetry) telemetry::set_enabled(true);
 
     // Wire the pieces by hand (instead of run_simulation) so the optional
-    // event trace can be attached.
+    // event trace and telemetry sinks can be attached.
     core::SimulationResult result;
     {
       sim::Engine engine;
@@ -123,6 +139,8 @@ int main(int argc, char** argv) {
                               result.recorder, config.batch);
       stats::EventTrace trace;
       if (want_trace) batch.set_event_trace(&trace);
+      telemetry::ChromeTraceBuilder chrome;
+      if (!chrome_path.empty()) batch.set_chrome_trace(&chrome);
       result.submitted = batch.submit_all(std::move(jobs));
       const auto wall_begin = std::chrono::steady_clock::now();
       engine.run();
@@ -139,6 +157,27 @@ int main(int argc, char** argv) {
         std::ofstream trace_csv(out_dir + "/trace.csv");
         trace.write_csv(trace_csv);
       }
+      if (want_telemetry) {
+        auto& registry = telemetry::Registry::global();
+        registry.counter("engine.events").add(result.events_processed);
+        registry.gauge("engine.events_per_second")
+            .set(result.makespan, result.wall_seconds > 0.0
+                                      ? static_cast<double>(result.events_processed) /
+                                            result.wall_seconds
+                                      : 0.0);
+      }
+      if (!chrome_path.empty()) {
+        chrome.close_open_slices(engine.now());
+        for (const telemetry::Span& span : telemetry::Registry::global().spans().spans()) {
+          chrome.wall_slice(span.name, span.wall_start_s, span.dur_s, span.items);
+        }
+        const std::filesystem::path parent =
+            std::filesystem::path(chrome_path).parent_path();
+        if (!parent.empty()) std::filesystem::create_directories(parent);
+        chrome.write_file(chrome_path);
+        std::printf("wrote Chrome trace (%zu events) to %s\n", chrome.event_count(),
+                    chrome_path.c_str());
+      }
     }
 
     std::filesystem::create_directories(out_dir);
@@ -148,11 +187,16 @@ int main(int argc, char** argv) {
       std::ofstream timeline_csv(out_dir + "/timeline.csv");
       result.recorder.write_timeline_csv(timeline_csv);
       json::write_file(out_dir + "/summary.json", summary_json(result, config));
+      if (want_telemetry) {
+        json::write_file(out_dir + "/telemetry.json",
+                         telemetry::Registry::global().to_json());
+      }
     }
 
     std::printf("\n%s\n", json::dump_pretty(summary_json(result, config)).c_str());
-    std::printf("\nwrote %s/jobs.csv, %s/timeline.csv, %s/summary.json\n", out_dir.c_str(),
-                out_dir.c_str(), out_dir.c_str());
+    std::printf("\nwrote %s/jobs.csv, %s/timeline.csv, %s/summary.json%s\n", out_dir.c_str(),
+                out_dir.c_str(), out_dir.c_str(),
+                want_telemetry ? ", telemetry.json" : "");
     if (result.stuck > 0) {
       std::fprintf(stderr, "warning: %zu jobs never completed (check job sizes vs platform)\n",
                    result.stuck);

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "stats/chrome_trace.h"
+#include "stats/telemetry.h"
 #include "util/fmt.h"
 #include "util/log.h"
 
@@ -241,6 +243,11 @@ std::vector<platform::NodeId> BatchSystem::take_free_nodes(int count) {
     }
   }
   assert(static_cast<int>(taken.size()) == count);
+  if (telemetry::enabled()) {
+    ensure_telemetry();
+    nodes_allocated_->add(static_cast<std::uint64_t>(count));
+    free_gauge_->set(engine_->now(), static_cast<double>(free_nodes_.size()));
+  }
   return taken;
 }
 
@@ -262,6 +269,11 @@ void BatchSystem::start_job(JobId id, int nodes) {
   running_order_.push_back(id);
   recorder_->on_start(id, engine_->now(), nodes);
   trace(stats::TraceEvent::kStart, id, util::fmt("{} nodes", nodes));
+  if (telemetry::enabled()) {
+    ensure_telemetry();
+    jobs_started_->add();
+  }
+  chrome_occupy(job, job.nodes);
   ELSIM_DEBUG("t={} start job {} on {} nodes", engine_->now(), id, nodes);
 
   if (std::isfinite(job.job.walltime_limit)) {
@@ -349,11 +361,17 @@ void BatchSystem::apply_resize(Managed& job, int target) {
   job.state = JobState::kRunning;
   if (target > current) {
     // Expansion: new nodes are busy from the start of redistribution.
+    const std::vector<platform::NodeId> added = take_free_nodes(target - current);
     std::vector<platform::NodeId> grown = job.nodes;
-    for (platform::NodeId node : take_free_nodes(target - current)) grown.push_back(node);
+    for (platform::NodeId node : added) grown.push_back(node);
     job.nodes = grown;
     recorder_->on_resize(id, engine_->now(), target);
     trace(stats::TraceEvent::kExpand, id, util::fmt("{}->{}", current, target));
+    if (telemetry::enabled()) {
+      ensure_telemetry();
+      expansions_->add();
+    }
+    chrome_occupy(job, added);
     ELSIM_DEBUG("t={} expand job {} {} -> {}", engine_->now(), id, current, target);
     job.execution->resume_with_nodes(std::move(grown), config_.charge_reconfiguration,
                                      nullptr);
@@ -371,6 +389,10 @@ void BatchSystem::apply_resize(Managed& job, int target) {
           recorder_->on_resize(id, engine_->now(), target);
           trace(stats::TraceEvent::kShrink, id,
                 util::fmt("{}->{}", kept.size() + removed.size(), target));
+          if (telemetry::enabled()) {
+            ensure_telemetry();
+            shrinks_->add();
+          }
           invoke_scheduler();
         });
   }
@@ -407,6 +429,7 @@ void BatchSystem::handle_walltime(JobId id) {
   running_order_.erase(std::find(running_order_.begin(), running_order_.end(), id));
   recorder_->on_finish(id, engine_->now(), /*killed=*/true);
   trace(stats::TraceEvent::kWalltimeKill, id);
+  if (chrome_) chrome_->instant(util::fmt("job {} walltime kill", id), engine_->now());
   ++killed_;
   --unfinished_;
   resolve_dependents(id, /*succeeded=*/false);
@@ -414,6 +437,11 @@ void BatchSystem::handle_walltime(JobId id) {
 }
 
 void BatchSystem::return_node(platform::NodeId node) {
+  if (chrome_) chrome_->end_node_slice(node, engine_->now());
+  if (telemetry::enabled()) {
+    ensure_telemetry();
+    nodes_released_->add();
+  }
   if (failed_nodes_.count(node)) return;  // stays out until repaired
   if (drain_pending_.erase(node) > 0) {
     drained_nodes_.insert(node);
@@ -421,6 +449,9 @@ void BatchSystem::return_node(platform::NodeId node) {
     return;
   }
   free_nodes_.insert(node);
+  if (telemetry::enabled()) {
+    free_gauge_->set(engine_->now(), static_cast<double>(free_nodes_.size()));
+  }
 }
 
 void BatchSystem::release_all_nodes(Managed& job) {
@@ -449,6 +480,7 @@ void BatchSystem::fail_node(platform::NodeId node) {
   drain_pending_.erase(node);
   ELSIM_INFO("t={} node {} failed", engine_->now(), node);
   trace(stats::TraceEvent::kNodeFail, 0, util::fmt("node {}", node));
+  if (chrome_) chrome_->instant(util::fmt("node {} failed", node), engine_->now());
   if (free_nodes_.erase(node) > 0) {
     invoke_scheduler();  // capacity shrank; reservations may change
     return;
@@ -469,6 +501,7 @@ void BatchSystem::restore_node(platform::NodeId node) {
   free_nodes_.insert(node);
   ELSIM_INFO("t={} node {} restored", engine_->now(), node);
   trace(stats::TraceEvent::kNodeRestore, 0, util::fmt("node {}", node));
+  if (chrome_) chrome_->instant(util::fmt("node {} restored", node), engine_->now());
   invoke_scheduler();
 }
 
@@ -527,6 +560,11 @@ void BatchSystem::evict_job(Managed& job) {
     job.start_time = -1.0;
     recorder_->on_requeue(id, engine_->now());
     trace(stats::TraceEvent::kRequeue, id);
+    if (chrome_) chrome_->instant(util::fmt("job {} requeued", id), engine_->now());
+    if (telemetry::enabled()) {
+      ensure_telemetry();
+      jobs_requeued_->add();
+    }
     queue_order_.push_back(id);
     ++requeues_;
   }
@@ -542,6 +580,13 @@ void BatchSystem::invoke_scheduler() {
     return;
   }
   in_scheduler_ = true;
+  const bool telemetry_on = telemetry::enabled();
+  double wall_begin = 0.0;
+  if (telemetry_on) {
+    ensure_telemetry();
+    queue_gauge_->set(engine_->now(), static_cast<double>(queue_order_.size()));
+    wall_begin = telemetry::wall_now();
+  }
   int rounds = 0;
   do {
     rerun_scheduler_ = false;
@@ -553,6 +598,12 @@ void BatchSystem::invoke_scheduler() {
       break;
     }
   } while (rerun_scheduler_);
+  if (telemetry_on) {
+    decision_hist_->record(telemetry::wall_now() - wall_begin);
+    invocations_->add();
+    rounds_->add(static_cast<std::uint64_t>(rounds));
+  }
+  chrome_counters();
   in_scheduler_ = false;
 }
 
@@ -579,6 +630,40 @@ void BatchSystem::rebuild_views() {
 
 void BatchSystem::trace(stats::TraceEvent event, workload::JobId job, std::string detail) {
   if (trace_) trace_->record(engine_->now(), event, job, std::move(detail));
+}
+
+void BatchSystem::ensure_telemetry() {
+  if (decision_hist_) return;
+  auto& registry = telemetry::Registry::global();
+  decision_hist_ = &registry.histogram("scheduler.decision_seconds");
+  invocations_ = &registry.counter("scheduler.invocations");
+  rounds_ = &registry.counter("scheduler.rounds");
+  queue_gauge_ = &registry.gauge("batch.queue_depth");
+  free_gauge_ = &registry.gauge("cluster.free_nodes");
+  nodes_allocated_ = &registry.counter("cluster.nodes_allocated");
+  nodes_released_ = &registry.counter("cluster.nodes_released");
+  jobs_started_ = &registry.counter("batch.jobs_started");
+  jobs_requeued_ = &registry.counter("batch.requeues");
+  expansions_ = &registry.counter("batch.expansions");
+  shrinks_ = &registry.counter("batch.shrinks");
+}
+
+void BatchSystem::chrome_occupy(const Managed& job,
+                                const std::vector<platform::NodeId>& nodes) {
+  if (!chrome_) return;
+  const std::string label =
+      job.job.name.empty() ? util::fmt("job {}", job.job.id) : job.job.name;
+  for (platform::NodeId node : nodes) {
+    chrome_->begin_node_slice(node, job.job.id, label, engine_->now());
+  }
+}
+
+void BatchSystem::chrome_counters() {
+  if (!chrome_) return;
+  const double now = engine_->now();
+  chrome_->counter("queue depth", now, static_cast<double>(queue_order_.size()));
+  chrome_->counter("running jobs", now, static_cast<double>(running_order_.size()));
+  chrome_->counter("free nodes", now, static_cast<double>(free_nodes_.size()));
 }
 
 void BatchSystem::arm_timer() {

@@ -31,6 +31,13 @@
 #include "stats/trace.h"
 #include "workload/job.h"
 
+namespace elastisim::telemetry {
+class ChromeTraceBuilder;
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace elastisim::telemetry
+
 namespace elastisim::core {
 
 /// How the batch system maps a node-count decision onto concrete nodes.
@@ -81,6 +88,11 @@ class BatchSystem final : public SchedulerContext {
   /// Attaches an event trace (not owned; must outlive the batch system).
   /// Pass nullptr to detach.
   void set_event_trace(stats::EventTrace* trace) { trace_ = trace; }
+
+  /// Attaches a Chrome trace builder (not owned; must outlive the batch
+  /// system): job lifecycles are rendered as per-node slices, plus counter
+  /// tracks and instant markers. Pass nullptr to detach.
+  void set_chrome_trace(telemetry::ChromeTraceBuilder* chrome) { chrome_ = chrome; }
 
   /// Schedules node `node` to fail at `fail_time` and (optionally) return to
   /// service at `repair_time`. A failed node leaves the free pool; a job
@@ -175,13 +187,33 @@ class BatchSystem final : public SchedulerContext {
   void rebuild_views();
   void arm_timer();
   void trace(stats::TraceEvent event, workload::JobId job, std::string detail = "");
+  /// Caches global-registry handles (first call with telemetry enabled).
+  void ensure_telemetry();
+  /// Opens Chrome-trace slices for `job` on `nodes`.
+  void chrome_occupy(const Managed& job, const std::vector<platform::NodeId>& nodes);
+  /// Samples the queue/free/running counter tracks into the Chrome trace.
+  void chrome_counters();
 
   sim::Engine* engine_;
   const platform::Cluster* cluster_;
   std::unique_ptr<Scheduler> scheduler_;
   stats::Recorder* recorder_;
   stats::EventTrace* trace_ = nullptr;
+  telemetry::ChromeTraceBuilder* chrome_ = nullptr;
   BatchConfig config_;
+
+  // Telemetry handles (cached by ensure_telemetry; null while disabled).
+  telemetry::Histogram* decision_hist_ = nullptr;
+  telemetry::Counter* invocations_ = nullptr;
+  telemetry::Counter* rounds_ = nullptr;
+  telemetry::Gauge* queue_gauge_ = nullptr;
+  telemetry::Gauge* free_gauge_ = nullptr;
+  telemetry::Counter* nodes_allocated_ = nullptr;
+  telemetry::Counter* nodes_released_ = nullptr;
+  telemetry::Counter* jobs_started_ = nullptr;
+  telemetry::Counter* jobs_requeued_ = nullptr;
+  telemetry::Counter* expansions_ = nullptr;
+  telemetry::Counter* shrinks_ = nullptr;
 
   std::unordered_map<workload::JobId, std::unique_ptr<Managed>> jobs_;
   std::unordered_map<workload::JobId, std::vector<workload::JobId>> dependents_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/schedulers.h"
+#include "stats/telemetry.h"
 
 namespace elastisim::core {
 
@@ -88,6 +89,7 @@ void ConservativeBackfillScheduler::schedule(SchedulerContext& ctx) {
                           : FreeProfile::kForever,
                       running.nodes);
     }
+    bool is_head = true;
     for (const QueuedJob& queued : ctx.queue()) {
       const workload::Job& job = *queued.job;
       const int size = std::min(job.requested_nodes, ctx.total_nodes());
@@ -95,11 +97,15 @@ void ConservativeBackfillScheduler::schedule(SchedulerContext& ctx) {
           std::isfinite(job.walltime_limit) ? job.walltime_limit : FreeProfile::kForever;
       const double begin = profile.earliest_fit(ctx.now(), duration, size);
       if (begin <= ctx.now() && size <= ctx.free_nodes()) {
+        if (!is_head && telemetry::enabled()) {
+          telemetry::Registry::global().counter("scheduler.backfills").add();
+        }
         ctx.start_job(job.id, size);
         started = true;  // profile is stale; rebuild
         break;
       }
       profile.reserve(begin, duration, size);
+      is_head = false;
     }
   }
 }

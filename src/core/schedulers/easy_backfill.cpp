@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/schedulers.h"
+#include "stats/telemetry.h"
 
 namespace elastisim::core {
 
@@ -65,6 +66,9 @@ bool easy_backfill_round(SchedulerContext& ctx) {
     const bool fits_before_shadow = completion <= reservation.shadow_time;
     const bool fits_in_spare = size <= reservation.spare_nodes;
     if (fits_before_shadow || fits_in_spare) {
+      if (telemetry::enabled()) {
+        telemetry::Registry::global().counter("scheduler.backfills").add();
+      }
       ctx.start_job(candidate.job->id, size);
       return true;  // views changed; caller restarts the scan
     }

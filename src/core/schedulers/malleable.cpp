@@ -2,6 +2,7 @@
 #include <vector>
 
 #include "core/schedulers.h"
+#include "stats/telemetry.h"
 
 namespace elastisim::core {
 
@@ -54,6 +55,11 @@ void expand_into_idle(SchedulerContext& ctx) {
   for (const Candidate& candidate : candidates) {
     ctx.set_target(candidate.id, candidate.target);
   }
+  if (telemetry::enabled()) {
+    telemetry::Registry::global()
+        .counter("scheduler.expand_targets")
+        .add(candidates.size());
+  }
 }
 
 void shrink_to_admit_head(SchedulerContext& ctx) {
@@ -95,6 +101,9 @@ void shrink_to_admit_head(SchedulerContext& ctx) {
     candidate.target -= give;
     incoming += give;
     ctx.set_target(candidate.id, candidate.target);
+    if (telemetry::enabled()) {
+      telemetry::Registry::global().counter("scheduler.shrink_targets").add();
+    }
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include "stats/telemetry.h"
 #include "util/fmt.h"
 
 namespace elastisim::platform {
@@ -84,6 +85,13 @@ Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config) : config_(con
   if (config.pfs.read_bandwidth > 0.0 || config.pfs.write_bandwidth > 0.0) {
     pfs_read_ = fluid.add_resource("pfs.read", config.pfs.read_bandwidth);
     pfs_write_ = fluid.add_resource("pfs.write", config.pfs.write_bandwidth);
+  }
+
+  if (telemetry::enabled()) {
+    auto& registry = telemetry::Registry::global();
+    registry.gauge("cluster.nodes").set(0.0, static_cast<double>(nodes_.size()));
+    registry.gauge("cluster.fluid_resources")
+        .set(0.0, static_cast<double>(fluid.resource_count()));
   }
 }
 

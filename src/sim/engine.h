@@ -13,6 +13,10 @@
 #include "sim/fluid.h"
 #include "sim/time.h"
 
+namespace elastisim::telemetry {
+class Histogram;
+}  // namespace elastisim::telemetry
+
 namespace elastisim::sim {
 
 class Engine {
@@ -55,10 +59,24 @@ class Engine {
   const FluidModel& fluid() const { return *fluid_; }
 
  private:
+  /// step() with per-phase wall-clock timing; taken when telemetry is on.
+  bool step_timed();
+  void flush_dispatch_batch(double wall_end);
+
   SimTime now_ = 0.0;
   EventQueue queue_;
   std::unique_ptr<FluidModel> fluid_;
   std::uint64_t events_processed_ = 0;
+
+  // Telemetry handles (cached on first timed step; null while disabled).
+  // Dispatch work is additionally grouped into spans of up to kDispatchBatch
+  // events so the Chrome trace's wall-clock track stays a few thousand
+  // slices instead of one per event.
+  static constexpr std::uint32_t kDispatchBatch = 8192;
+  telemetry::Histogram* pop_hist_ = nullptr;
+  telemetry::Histogram* dispatch_hist_ = nullptr;
+  double batch_start_wall_ = -1.0;
+  std::uint32_t batch_events_ = 0;
 };
 
 }  // namespace elastisim::sim

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "sim/engine.h"
+#include "stats/telemetry.h"
 #include "util/log.h"
 
 namespace elastisim::sim {
@@ -112,6 +113,10 @@ void FluidModel::settle() {
 
 void FluidModel::rebalance() {
   ++rebalance_count_;
+  if (telemetry::enabled() && !rebalance_hist_) {
+    rebalance_hist_ = &telemetry::Registry::global().histogram("fluid.rebalance_seconds");
+  }
+  telemetry::ScopedTimer timer(telemetry::enabled() ? rebalance_hist_ : nullptr);
 
   // Working state for progressive filling.
   std::vector<double> avail(resources_.size());

@@ -24,6 +24,10 @@
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
+namespace elastisim::telemetry {
+class Histogram;
+}  // namespace elastisim::telemetry
+
 namespace elastisim::sim {
 
 class Engine;
@@ -128,6 +132,8 @@ class FluidModel {
   ActivityId next_activity_id_ = 1;
   SimTime last_settle_ = 0.0;
   std::uint64_t rebalance_count_ = 0;
+  /// Telemetry sink for rebalance wall times (null while disabled).
+  telemetry::Histogram* rebalance_hist_ = nullptr;
 };
 
 }  // namespace elastisim::sim

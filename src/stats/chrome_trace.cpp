@@ -1,0 +1,158 @@
+#include "stats/chrome_trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace elastisim::telemetry {
+
+namespace {
+
+constexpr int kClusterPid = 1;
+constexpr int kEnginePid = 2;
+
+json::Value metadata(const char* kind, int pid, std::uint32_t tid, std::string name) {
+  json::Object event;
+  event["name"] = kind;
+  event["ph"] = "M";
+  event["pid"] = pid;
+  event["tid"] = static_cast<double>(tid);
+  json::Object args;
+  args["name"] = std::move(name);
+  event["args"] = std::move(args);
+  return json::Value(std::move(event));
+}
+
+}  // namespace
+
+void ChromeTraceBuilder::begin_node_slice(std::uint32_t node, std::uint64_t job,
+                                          std::string label, double sim_time) {
+  end_node_slice(node, sim_time);
+  open_[node] = Open{job, std::move(label), to_us(sim_time)};
+  if (node > max_node_) max_node_ = node;
+  any_node_ = true;
+}
+
+void ChromeTraceBuilder::end_node_slice(std::uint32_t node, double sim_time) {
+  auto it = open_.find(node);
+  if (it == open_.end()) return;
+  slices_.push_back(NodeSlice{node, it->second.job, std::move(it->second.label),
+                              it->second.start_us, to_us(sim_time) - it->second.start_us});
+  open_.erase(it);
+}
+
+void ChromeTraceBuilder::counter(const std::string& name, double sim_time, double value) {
+  // Skip unchanged samples: counters are sampled at every scheduling point
+  // and mostly do not change between them.
+  auto [it, inserted] = last_counter_.emplace(name, value);
+  if (!inserted) {
+    if (it->second == value) return;
+    it->second = value;
+  }
+  counters_.push_back(CounterSample{name, to_us(sim_time), value});
+}
+
+void ChromeTraceBuilder::instant(std::string label, double sim_time) {
+  instants_.push_back(Instant{std::move(label), to_us(sim_time)});
+}
+
+void ChromeTraceBuilder::wall_slice(std::string label, double wall_start_s, double dur_s,
+                                    std::uint64_t items) {
+  wall_.push_back(Span{std::move(label), wall_start_s, dur_s, items});
+}
+
+void ChromeTraceBuilder::close_open_slices(double sim_time) {
+  while (!open_.empty()) {
+    end_node_slice(open_.begin()->first, sim_time);
+  }
+}
+
+std::size_t ChromeTraceBuilder::event_count() const {
+  return slices_.size() + open_.size() + counters_.size() + instants_.size() + wall_.size();
+}
+
+json::Value ChromeTraceBuilder::to_json() const {
+  json::Array events;
+
+  events.push_back(metadata("process_name", kClusterPid, 0, "cluster (simulated time)"));
+  if (any_node_) {
+    for (std::uint32_t node = 0; node <= max_node_; ++node) {
+      events.push_back(
+          metadata("thread_name", kClusterPid, node, "node " + std::to_string(node)));
+    }
+  }
+  events.push_back(metadata("process_name", kEnginePid, 0, "engine (wall clock)"));
+  events.push_back(metadata("thread_name", kEnginePid, 0, "engine"));
+
+  for (const NodeSlice& slice : slices_) {
+    json::Object event;
+    event["name"] = slice.label;
+    event["ph"] = "X";
+    event["pid"] = kClusterPid;
+    event["tid"] = static_cast<double>(slice.node);
+    event["ts"] = slice.start_us;
+    event["dur"] = slice.dur_us;
+    json::Object args;
+    args["job"] = static_cast<double>(slice.job);
+    event["args"] = std::move(args);
+    events.push_back(json::Value(std::move(event)));
+  }
+
+  for (const CounterSample& sample : counters_) {
+    json::Object event;
+    event["name"] = sample.name;
+    event["ph"] = "C";
+    event["pid"] = kClusterPid;
+    event["tid"] = 0;
+    event["ts"] = sample.ts_us;
+    json::Object args;
+    args["value"] = sample.value;
+    event["args"] = std::move(args);
+    events.push_back(json::Value(std::move(event)));
+  }
+
+  for (const Instant& mark : instants_) {
+    json::Object event;
+    event["name"] = mark.label;
+    event["ph"] = "i";
+    event["s"] = "g";  // global scope: draws a full-height line
+    event["pid"] = kClusterPid;
+    event["tid"] = 0;
+    event["ts"] = mark.ts_us;
+    events.push_back(json::Value(std::move(event)));
+  }
+
+  for (const Span& span : wall_) {
+    json::Object event;
+    event["name"] = span.name;
+    event["ph"] = "X";
+    event["pid"] = kEnginePid;
+    event["tid"] = 0;
+    event["ts"] = to_us(span.wall_start_s);
+    event["dur"] = to_us(span.dur_s);
+    if (span.items > 0) {
+      json::Object args;
+      args["items"] = static_cast<double>(span.items);
+      event["args"] = std::move(args);
+    }
+    events.push_back(json::Value(std::move(event)));
+  }
+
+  json::Object out;
+  out["traceEvents"] = std::move(events);
+  out["displayTimeUnit"] = "ms";
+  return json::Value(std::move(out));
+}
+
+void ChromeTraceBuilder::write(std::ostream& out) const {
+  out << json::dump(to_json());
+}
+
+void ChromeTraceBuilder::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write chrome trace to " + path);
+  write(out);
+  out << "\n";
+}
+
+}  // namespace elastisim::telemetry

@@ -10,7 +10,7 @@
 namespace elastisim::stats {
 
 double JobRecord::bounded_slowdown(double tau) const {
-  if (!finished() || !started()) return -1.0;
+  if (!completed()) return -1.0;
   const double denom = std::max(runtime(), tau);
   return std::max(1.0, turnaround() / denom);
 }
@@ -109,7 +109,7 @@ void Recorder::on_cancel(workload::JobId id, double time) {
 std::size_t Recorder::finished_count() const {
   return static_cast<std::size_t>(
       std::count_if(records_.begin(), records_.end(),
-                    [](const JobRecord& r) { return r.finished(); }));
+                    [](const JobRecord& r) { return r.completed(); }));
 }
 
 std::size_t Recorder::killed_count() const {
@@ -120,18 +120,21 @@ std::size_t Recorder::killed_count() const {
 double Recorder::makespan() const {
   double last = 0.0;
   for (const JobRecord& record : records_) {
-    if (record.finished()) last = std::max(last, record.end_time);
+    if (record.completed()) last = std::max(last, record.end_time);
   }
   return last;
 }
 
 namespace {
+// Aggregation population: jobs that ran to an end. Cancelled jobs carry an
+// end_time but never started, so their wait/turnaround are the -1 sentinels;
+// averaging them in would drag every mean below its true value (or negative).
 template <typename Fn>
-double mean_over_finished(const std::vector<JobRecord>& records, Fn&& value) {
+double mean_over_completed(const std::vector<JobRecord>& records, Fn&& value) {
   double sum = 0.0;
   std::size_t count = 0;
   for (const JobRecord& record : records) {
-    if (!record.finished()) continue;
+    if (!record.completed()) continue;
     sum += value(record);
     ++count;
   }
@@ -140,13 +143,13 @@ double mean_over_finished(const std::vector<JobRecord>& records, Fn&& value) {
 }  // namespace
 
 double Recorder::mean_wait() const {
-  return mean_over_finished(records_, [](const JobRecord& r) { return r.wait_time(); });
+  return mean_over_completed(records_, [](const JobRecord& r) { return r.wait_time(); });
 }
 
 double Recorder::median_wait() const {
   std::vector<double> waits;
   for (const JobRecord& record : records_) {
-    if (record.finished()) waits.push_back(record.wait_time());
+    if (record.completed()) waits.push_back(record.wait_time());
   }
   if (waits.empty()) return 0.0;
   const std::size_t mid = waits.size() / 2;
@@ -155,10 +158,10 @@ double Recorder::median_wait() const {
 }
 
 double Recorder::wait_percentile(double p) const {
-  assert(p >= 0.0 && p <= 1.0);
+  p = std::clamp(p, 0.0, 1.0);
   std::vector<double> waits;
   for (const JobRecord& record : records_) {
-    if (record.finished()) waits.push_back(record.wait_time());
+    if (record.completed()) waits.push_back(record.wait_time());
   }
   if (waits.empty()) return 0.0;
   std::sort(waits.begin(), waits.end());
@@ -169,17 +172,17 @@ double Recorder::wait_percentile(double p) const {
 double Recorder::max_wait() const {
   double worst = 0.0;
   for (const JobRecord& record : records_) {
-    if (record.finished()) worst = std::max(worst, record.wait_time());
+    if (record.completed()) worst = std::max(worst, record.wait_time());
   }
   return worst;
 }
 
 double Recorder::mean_turnaround() const {
-  return mean_over_finished(records_, [](const JobRecord& r) { return r.turnaround(); });
+  return mean_over_completed(records_, [](const JobRecord& r) { return r.turnaround(); });
 }
 
 double Recorder::mean_bounded_slowdown(double tau) const {
-  return mean_over_finished(records_,
+  return mean_over_completed(records_,
                             [tau](const JobRecord& r) { return r.bounded_slowdown(tau); });
 }
 

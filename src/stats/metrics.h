@@ -36,7 +36,13 @@ struct JobRecord {
   double node_seconds = 0.0;  // integral of allocation size over runtime
 
   bool started() const { return start_time >= 0.0; }
+  /// Has an end time — includes cancelled jobs, which never ran.
   bool finished() const { return end_time >= 0.0; }
+  /// Ran and reached an end (normal finish or walltime/failure kill). This
+  /// is the population every aggregate below is computed over: cancelled
+  /// jobs have an end_time but no start, so their wait/turnaround would be
+  /// the -1 sentinels and must not enter means or percentiles.
+  bool completed() const { return finished() && started(); }
   double wait_time() const { return started() ? start_time - submit_time : -1.0; }
   double turnaround() const { return finished() ? end_time - submit_time : -1.0; }
   double runtime() const { return finished() && started() ? end_time - start_time : -1.0; }
@@ -74,15 +80,23 @@ class Recorder {
   const std::vector<JobRecord>& records() const { return records_; }
   const std::vector<UtilizationPoint>& timeline() const { return timeline_; }
 
-  // --- Aggregates (over finished jobs unless stated otherwise) ------------
+  // --- Aggregates ----------------------------------------------------------
+  // All aggregates are computed over *completed* jobs (ran to an end,
+  // normally or killed; cancelled jobs are excluded — see
+  // JobRecord::completed()). With zero completed jobs every aggregate
+  // deterministically returns 0.0 (never NaN, never a read past the end of
+  // an empty vector); callers that need to distinguish "no jobs" from
+  // "zero seconds" check finished_count() first.
+  /// Number of completed jobs (cancelled jobs are not counted).
   std::size_t finished_count() const;
   std::size_t killed_count() const;
-  /// Last finish time (0 when nothing finished).
+  /// Last completion time (0 when nothing completed).
   double makespan() const;
   double mean_wait() const;
   double median_wait() const;
   double max_wait() const;
-  /// Wait-time percentile over finished jobs, p in [0, 1] (0.9 = p90).
+  /// Wait-time percentile over completed jobs; p is clamped to [0, 1]
+  /// (0.9 = p90).
   double wait_percentile(double p) const;
   double mean_turnaround() const;
   double mean_bounded_slowdown(double tau = 10.0) const;

@@ -1,0 +1,172 @@
+#include "stats/telemetry.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace elastisim::telemetry {
+
+double wall_now() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return std::chrono::duration<double>(clock::now() - origin).count();
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+void Gauge::set(double sim_time, double value) {
+  value_ = value;
+  if (updates_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  // Thinning: only every stride_-th update lands in the timeline; when the
+  // timeline fills up, halve it and double the stride.
+  if (updates_++ % stride_ != 0) return;
+  samples_.push_back({sim_time, value});
+  if (samples_.size() >= kMaxSamples) {
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < samples_.size(); read += 2) {
+      samples_[write++] = samples_[read];
+    }
+    samples_.resize(write);
+    stride_ *= 2;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+int Histogram::bucket_index(double value) noexcept {
+  int exp = std::ilogb(value);  // floor(log2), value > 0 and finite here
+  if (exp < kMinExp) exp = kMinExp;
+  if (exp > kMaxExp) exp = kMaxExp;
+  return exp - kMinExp;
+}
+
+void Histogram::record(double value) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+  if (value > 0.0 && std::isfinite(value)) {
+    ++buckets_[static_cast<std::size_t>(bucket_index(value))];
+  } else {
+    ++zero_;
+  }
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (p <= 0.0) return min_;
+  if (p >= 1.0) return max_;
+  // 0-based rank, same convention as Recorder::wait_percentile.
+  const double rank = p * static_cast<double>(count_ - 1);
+  double cumulative = static_cast<double>(zero_);
+  if (rank < cumulative) return min_ < 0.0 ? min_ : 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const auto in_bucket = static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
+    if (in_bucket == 0.0) continue;
+    if (rank < cumulative + in_bucket) {
+      const double lo = std::ldexp(1.0, i + kMinExp);
+      const double hi = std::ldexp(1.0, i + kMinExp + 1);
+      const double fraction = (rank - cumulative + 0.5) / in_bucket;
+      double value = lo + fraction * (hi - lo);
+      if (value < min_) value = min_;
+      if (value > max_) value = max_;
+      return value;
+    }
+    cumulative += in_bucket;
+  }
+  return max_;
+}
+
+// ---------------------------------------------------------------------------
+// SpanLog
+// ---------------------------------------------------------------------------
+
+void SpanLog::add(std::string name, double wall_start_s, double dur_s, std::uint64_t items) {
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(Span{std::move(name), wall_start_s, dur_s, items});
+}
+
+void SpanLog::clear() {
+  spans_.clear();
+  dropped_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+void Registry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  spans_.clear();
+}
+
+json::Value Registry::to_json() const {
+  json::Object counters;
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = static_cast<double>(counter.value());
+  }
+
+  json::Object gauges;
+  for (const auto& [name, gauge] : gauges_) {
+    json::Object entry;
+    entry["value"] = gauge.value();
+    entry["min"] = gauge.min();
+    entry["max"] = gauge.max();
+    entry["updates"] = static_cast<double>(gauge.updates());
+    json::Array samples;
+    for (const GaugeSample& sample : gauge.samples()) {
+      samples.push_back(json::Value(json::Array{sample.time, sample.value}));
+    }
+    entry["samples"] = std::move(samples);
+    gauges[name] = std::move(entry);
+  }
+
+  json::Object histograms;
+  for (const auto& [name, histogram] : histograms_) {
+    json::Object entry;
+    entry["count"] = static_cast<double>(histogram.count());
+    entry["sum"] = histogram.sum();
+    entry["mean"] = histogram.mean();
+    entry["min"] = histogram.min();
+    entry["max"] = histogram.max();
+    entry["p50"] = histogram.percentile(0.50);
+    entry["p90"] = histogram.percentile(0.90);
+    entry["p99"] = histogram.percentile(0.99);
+    histograms[name] = std::move(entry);
+  }
+
+  json::Object spans;
+  spans["count"] = spans_.spans().size();
+  spans["dropped"] = static_cast<double>(spans_.dropped());
+
+  json::Object out;
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  out["spans"] = std::move(spans);
+  return json::Value(std::move(out));
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace elastisim::telemetry

@@ -253,10 +253,58 @@ TEST(Recorder, CancelledJobRecorded) {
   EXPECT_DOUBLE_EQ(record.node_seconds, 0.0);
 }
 
+TEST(Recorder, CancelledJobsDoNotPoisonAggregates) {
+  // A cancelled job carries an end_time but never started; its sentinel
+  // wait/turnaround values (-1) must stay out of every aggregate.
+  Recorder recorder;
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_start(1, 10.0, 1);
+  recorder.on_finish(1, 30.0, false);
+  recorder.on_submit(job_with_id(2), 0.0);
+  recorder.on_cancel(2, 100.0);  // later than the real finish
+
+  EXPECT_EQ(recorder.finished_count(), 1u);
+  EXPECT_DOUBLE_EQ(recorder.makespan(), 30.0);  // not the cancel time
+  EXPECT_DOUBLE_EQ(recorder.mean_wait(), 10.0);
+  EXPECT_DOUBLE_EQ(recorder.median_wait(), 10.0);
+  EXPECT_DOUBLE_EQ(recorder.max_wait(), 10.0);
+  EXPECT_DOUBLE_EQ(recorder.wait_percentile(0.9), 10.0);
+  EXPECT_DOUBLE_EQ(recorder.mean_turnaround(), 30.0);
+  EXPECT_GE(recorder.mean_bounded_slowdown(), 1.0);
+}
+
+TEST(Recorder, OnlyCancelledJobsMeansZeroAggregates) {
+  Recorder recorder;
+  recorder.on_submit(job_with_id(1), 0.0);
+  recorder.on_cancel(1, 50.0);
+  EXPECT_EQ(recorder.finished_count(), 0u);
+  EXPECT_DOUBLE_EQ(recorder.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.mean_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.median_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.wait_percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.mean_bounded_slowdown(), 0.0);
+}
+
+TEST(Recorder, WaitPercentileClampsOutOfRangeP) {
+  Recorder recorder;
+  for (workload::JobId id = 1; id <= 3; ++id) {
+    recorder.on_submit(job_with_id(id), 0.0);
+    recorder.on_start(id, static_cast<double>(id), 1);
+    recorder.on_finish(id, static_cast<double>(id) + 1.0, false);
+  }
+  EXPECT_DOUBLE_EQ(recorder.wait_percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(recorder.wait_percentile(1.5), 3.0);
+}
+
 TEST(Recorder, EmptyRecorderAggregatesAreZero) {
   Recorder recorder;
   EXPECT_DOUBLE_EQ(recorder.makespan(), 0.0);
   EXPECT_DOUBLE_EQ(recorder.mean_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.median_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.max_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.wait_percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.mean_turnaround(), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.mean_bounded_slowdown(), 0.0);
   EXPECT_DOUBLE_EQ(recorder.average_utilization(), 0.0);
   EXPECT_TRUE(recorder.utilization_buckets(10.0).empty());
 }

@@ -56,6 +56,37 @@ TEST(EventTrace, CsvHasHeaderAndRows) {
   EXPECT_EQ(fields[3], "node 3");
 }
 
+TEST(EventTrace, CsvEscapesCommasAndQuotes) {
+  EventTrace trace;
+  trace.record(1.0, TraceEvent::kStart, 7, "nodes 1,2,3");
+  trace.record(2.0, TraceEvent::kFinish, 7, "status \"ok\", clean");
+  std::ostringstream out;
+  trace.write_csv(out);
+  std::istringstream in(out.str());
+  std::string header, first, second;
+  ASSERT_TRUE(std::getline(in, header));
+  ASSERT_TRUE(std::getline(in, first));
+  ASSERT_TRUE(std::getline(in, second));
+  // The raw line is quoted...
+  EXPECT_NE(first.find("\"nodes 1,2,3\""), std::string::npos);
+  // ...and round-trips through the reader unchanged.
+  const auto fields_first = util::split_csv_line(first);
+  ASSERT_EQ(fields_first.size(), 4u);
+  EXPECT_EQ(fields_first[3], "nodes 1,2,3");
+  const auto fields_second = util::split_csv_line(second);
+  ASSERT_EQ(fields_second.size(), 4u);
+  EXPECT_EQ(fields_second[3], "status \"ok\", clean");
+}
+
+TEST(EventTrace, FilteredOnEmptyTraceIsEmpty) {
+  EventTrace trace;
+  EXPECT_TRUE(trace.filtered(TraceEvent::kStart).empty());
+  std::ostringstream out;
+  trace.write_csv(out);
+  // Header only.
+  EXPECT_EQ(out.str().find('\n'), out.str().size() - 1);
+}
+
 TEST(EventTrace, EventNamesAreUnique) {
   std::set<std::string> names;
   for (auto event : {TraceEvent::kSubmit, TraceEvent::kStart, TraceEvent::kExpand,
