@@ -7,7 +7,7 @@
 #include "bench_common.h"
 
 #include "core/batch_system.h"
-#include "util/rng.h"
+#include "core/fault_injector.h"
 
 using namespace elastisim;
 
@@ -36,19 +36,17 @@ Outcome run_with_failures(const std::string& scheduler, core::FailurePolicy poli
                           batch_config);
   batch.submit_all(std::move(jobs));
 
-  // Poisson failures over the expected horizon; each node returns to service
-  // after a 30-minute repair.
-  util::Rng rng(2026);
-  constexpr double kHorizon = 30000.0;
+  // Exponential failures over the expected horizon; each node returns to
+  // service after a 30-minute repair. The cluster-wide rate maps onto the
+  // injector's per-node MTBF (superposed renewal processes).
   if (failures_per_hour > 0.0) {
-    double clock = 0.0;
-    while (true) {
-      clock += rng.exponential(failures_per_hour / 3600.0);
-      if (clock > kHorizon) break;
-      const auto node =
-          static_cast<platform::NodeId>(rng.uniform_int(0, platform.node_count - 1));
-      batch.inject_failure(node, clock, clock + 1800.0);
-    }
+    core::FaultModelConfig fault;
+    fault.mtbf = static_cast<double>(platform.node_count) * 3600.0 / failures_per_hour;
+    fault.mean_repair = 1800.0;
+    fault.horizon = 30000.0;
+    fault.seed = 2026;
+    core::FaultInjector injector(fault);
+    core::FaultInjector::apply(batch, injector.generate(platform.node_count));
   }
   engine.run();
   return Outcome{recorder.makespan(), recorder.mean_wait(), batch.killed_jobs(),
@@ -68,9 +66,8 @@ int main() {
         const auto outcome =
             run_with_failures(scheduler, policy, rate, /*malleable_fraction=*/0.5);
         std::printf("%.0f,%s,%s,%.0f,%.1f,%zu,%zu,%zu\n", rate, scheduler,
-                    policy == core::FailurePolicy::kKill ? "kill" : "requeue",
-                    outcome.makespan, outcome.mean_wait, outcome.killed, outcome.requeues,
-                    outcome.unfinished);
+                    core::to_string(policy).c_str(), outcome.makespan, outcome.mean_wait,
+                    outcome.killed, outcome.requeues, outcome.unfinished);
       }
     }
   }

@@ -62,6 +62,22 @@ int main(int argc, char** argv) {
   config.checkpoint_fraction = flags.get("checkpoint-fraction", config.checkpoint_fraction);
   config.checkpoint_bytes =
       quantity_flag(flags, "checkpoint-bytes", config.checkpoint_bytes, util::parse_bytes);
+  config.checkpoint_every = static_cast<int>(
+      flags.get("checkpoint-every", static_cast<std::int64_t>(config.checkpoint_every)));
+  // --daly-mtbf M derives checkpoint_every from the Young/Daly optimal
+  // interval instead: checkpoint cost C comes from --daly-checkpoint-cost
+  // (seconds to write one checkpoint), iteration length from
+  // --iteration-compute.
+  const double daly_mtbf = quantity_flag(flags, "daly-mtbf", 0.0, util::parse_duration);
+  if (daly_mtbf > 0.0) {
+    const double cost =
+        quantity_flag(flags, "daly-checkpoint-cost", 60.0, util::parse_duration);
+    config.checkpoint_every =
+        workload::daly_checkpoint_every(cost, daly_mtbf, config.mean_iteration_compute);
+    std::printf("Young/Daly: checkpoint every %d iterations (interval %.0fs)\n",
+                config.checkpoint_every,
+                workload::young_daly_interval(cost, daly_mtbf));
+  }
   config.state_bytes_per_node =
       quantity_flag(flags, "state-bytes", config.state_bytes_per_node, util::parse_bytes);
   config.walltime_factor = flags.get("walltime-factor", config.walltime_factor);

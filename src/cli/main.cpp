@@ -15,12 +15,15 @@
 // printing the summary to stdout as well. --chrome-trace <file> additionally
 // writes a Chrome trace_event JSON viewable in Perfetto (see
 // docs/OBSERVABILITY.md).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
+#include "core/fault_injector.h"
 #include "core/simulation.h"
 #include "json/json.h"
 #include "stats/chrome_trace.h"
@@ -42,7 +45,15 @@ void usage(const char* program) {
                "usage: %s --platform <file.json> (--workload <file.json> | --swf <trace>)\n"
                "          [--scheduler <name>] [--interval <seconds>] [--no-reconfig-cost]\n"
                "          [--out-dir <dir>] [--trace] [--telemetry]\n"
-               "          [--chrome-trace <file.json>] [--log <level>]\n\n"
+               "          [--chrome-trace <file.json>] [--log <level>]\n"
+               "failures: [--mtbf <duration>] [--failure-dist exponential|weibull]\n"
+               "          [--weibull-shape <k>] [--repair <duration>]\n"
+               "          [--repair-dist constant|lognormal] [--repair-sigma <s>]\n"
+               "          [--pod-correlation <p>] [--failure-horizon <duration>]\n"
+               "          [--failure-seed <n>] [--failure-trace <file.json>]\n"
+               "          [--save-failure-trace <file.json>]\n"
+               "          [--failure-policy kill|requeue|requeue-restart]\n"
+               "          [--restart-overhead <duration>] [--max-requeues <n>]\n\n"
                "schedulers:",
                program);
   for (const std::string& name : core::scheduler_names()) {
@@ -68,9 +79,21 @@ json::Value summary_json(const core::SimulationResult& result,
   out["avg_utilization"] = result.recorder.average_utilization();
   out["expansions"] = result.recorder.total_expansions();
   out["shrinks"] = result.recorder.total_shrinks();
+  out["requeues"] = result.recorder.total_requeues();
+  out["lost_node_seconds"] = result.recorder.total_lost_node_seconds();
+  out["redone_seconds"] = result.recorder.total_redone_seconds();
   out["wall_seconds"] = result.wall_seconds;
   out["events_processed"] = result.events_processed;
   return json::Value(std::move(out));
+}
+
+double duration_flag(const util::Flags& flags, const std::string& name, double fallback) {
+  const std::string raw = flags.get(name, std::string());
+  if (raw.empty()) return fallback;
+  if (auto parsed = util::parse_duration(raw)) return *parsed;
+  std::fprintf(stderr, "warning: cannot parse --%s=%s, using default\n", name.c_str(),
+               raw.c_str());
+  return fallback;
 }
 
 }  // namespace
@@ -93,6 +116,16 @@ int main(int argc, char** argv) {
     config.scheduler = flags.get("scheduler", std::string("easy-malleable"));
     config.batch.scheduling_interval = flags.get("interval", 0.0);
     config.batch.charge_reconfiguration = !flags.get("no-reconfig-cost", false);
+    const std::string policy_name = flags.get("failure-policy", std::string("requeue"));
+    if (auto policy = core::failure_policy_from_string(policy_name)) {
+      config.batch.failure_policy = *policy;
+    } else {
+      std::fprintf(stderr, "error: unknown --failure-policy %s\n", policy_name.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+    config.batch.restart_overhead = duration_flag(flags, "restart-overhead", 0.0);
+    config.batch.max_requeues = static_cast<int>(flags.get("max-requeues", std::int64_t{0}));
 
     std::vector<workload::Job> jobs;
     if (!workload_path.empty()) {
@@ -112,6 +145,57 @@ int main(int argc, char** argv) {
                 config.platform.node_count,
                 platform::to_string(config.platform.topology).c_str(),
                 config.scheduler.c_str());
+
+    // Failure schedule: replay a recorded trace, or draw one from the MTBF
+    // model (per-node renewal processes; see docs/RESILIENCE.md).
+    std::vector<core::FailureEvent> failures;
+    const std::string failure_trace_path = flags.get("failure-trace", std::string());
+    const double mtbf = duration_flag(flags, "mtbf", 0.0);
+    if (!failure_trace_path.empty()) {
+      failures = core::FaultInjector::load_trace(failure_trace_path);
+      std::printf("loaded %zu failure events from %s\n", failures.size(),
+                  failure_trace_path.c_str());
+    } else if (mtbf > 0.0) {
+      core::FaultModelConfig fault;
+      fault.mtbf = mtbf;
+      const std::string dist = flags.get("failure-dist", std::string("exponential"));
+      if (dist == "weibull") {
+        fault.failure_distribution = core::FailureDistribution::kWeibull;
+      } else if (dist != "exponential") {
+        std::fprintf(stderr, "error: unknown --failure-dist %s\n", dist.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+      fault.weibull_shape = flags.get("weibull-shape", fault.weibull_shape);
+      fault.mean_repair = duration_flag(flags, "repair", fault.mean_repair);
+      const std::string repair_dist = flags.get("repair-dist", std::string("constant"));
+      if (repair_dist == "lognormal") {
+        fault.repair_distribution = core::RepairDistribution::kLognormal;
+      } else if (repair_dist != "constant") {
+        std::fprintf(stderr, "error: unknown --repair-dist %s\n", repair_dist.c_str());
+        usage(argv[0]);
+        return 2;
+      }
+      fault.repair_sigma = flags.get("repair-sigma", fault.repair_sigma);
+      fault.pod_correlation = flags.get("pod-correlation", 0.0);
+      double last_submit = 0.0;
+      for (const workload::Job& job : jobs) {
+        last_submit = std::max(last_submit, job.submit_time);
+      }
+      fault.horizon =
+          duration_flag(flags, "failure-horizon", std::max(86400.0, 2.0 * last_submit));
+      fault.seed = static_cast<std::uint64_t>(flags.get("failure-seed", std::int64_t{1}));
+      failures = core::FaultInjector(fault).generate(config.platform.node_count,
+                                                     config.platform.pod_size);
+      std::printf("generated %zu failure events (mtbf %.0fs, horizon %.0fs, seed %llu)\n",
+                  failures.size(), fault.mtbf, fault.horizon,
+                  static_cast<unsigned long long>(fault.seed));
+    }
+    const std::string save_failures = flags.get("save-failure-trace", std::string());
+    if (!save_failures.empty()) {
+      core::FaultInjector::save_trace(save_failures, failures);
+      std::printf("wrote %zu failure events to %s\n", failures.size(), save_failures.c_str());
+    }
 
     const std::string out_dir = flags.get("out-dir", std::string("results"));
     const bool want_trace = flags.get("trace", false);
@@ -141,6 +225,7 @@ int main(int argc, char** argv) {
       if (want_trace) batch.set_event_trace(&trace);
       telemetry::ChromeTraceBuilder chrome;
       if (!chrome_path.empty()) batch.set_chrome_trace(&chrome);
+      core::FaultInjector::apply(batch, failures);
       result.submitted = batch.submit_all(std::move(jobs));
       const auto wall_begin = std::chrono::steady_clock::now();
       engine.run();

@@ -13,6 +13,22 @@ namespace elastisim::core {
 
 using workload::JobId;
 
+std::string to_string(FailurePolicy policy) {
+  switch (policy) {
+    case FailurePolicy::kKill: return "kill";
+    case FailurePolicy::kRequeue: return "requeue";
+    case FailurePolicy::kRequeueRestart: return "requeue-restart";
+  }
+  return "?";
+}
+
+std::optional<FailurePolicy> failure_policy_from_string(std::string_view name) {
+  if (name == "kill") return FailurePolicy::kKill;
+  if (name == "requeue") return FailurePolicy::kRequeue;
+  if (name == "requeue-restart") return FailurePolicy::kRequeueRestart;
+  return std::nullopt;
+}
+
 BatchSystem::BatchSystem(sim::Engine& engine, const platform::Cluster& cluster,
                          std::unique_ptr<Scheduler> scheduler, stats::Recorder& recorder,
                          BatchConfig config)
@@ -284,7 +300,18 @@ void BatchSystem::start_job(JobId id, int nodes) {
       *engine_, *cluster_, job.job, job.nodes,
       [this, id](int delta) { handle_boundary(id, delta); },
       [this, id] { handle_completion(id); });
-  job.execution->start();
+  if (config_.failure_policy == FailurePolicy::kRequeueRestart && !job.checkpoint.at_origin()) {
+    trace(stats::TraceEvent::kStart, id,
+          util::fmt("restart from phase {} iter {}", job.checkpoint.phase,
+                    job.checkpoint.iteration));
+    if (chrome_) {
+      chrome_->instant(util::fmt("job {} restarts from checkpoint", id), engine_->now());
+    }
+    if (telemetry::enabled()) checkpoint_restarts_->add();
+    job.execution->start_from(job.checkpoint, config_.restart_overhead);
+  } else {
+    job.execution->start();
+  }
   rebuild_views();
 }
 
@@ -463,21 +490,47 @@ void BatchSystem::release_all_nodes(Managed& job) {
 // Failure injection
 // ---------------------------------------------------------------------------
 
-void BatchSystem::inject_failure(platform::NodeId node, double fail_time,
+bool BatchSystem::inject_failure(platform::NodeId node, double fail_time,
                                  double repair_time) {
-  assert(node < cluster_->node_count());
-  assert(repair_time >= fail_time);
-  engine_->schedule_at(fail_time, [this, node] { fail_node(node); });
+  // Explicit validation (not just asserts): failure schedules often come
+  // from user-supplied trace files, so bad input must be rejected in
+  // release builds too.
+  if (node >= cluster_->node_count()) {
+    ELSIM_ERROR("rejecting failure injection: node {} outside cluster of {}", node,
+                cluster_->node_count());
+    return false;
+  }
+  if (std::isnan(fail_time) || std::isinf(fail_time) || fail_time < 0.0) {
+    ELSIM_ERROR("rejecting failure injection for node {}: bad fail time {}", node, fail_time);
+    return false;
+  }
+  if (std::isnan(repair_time) || repair_time < fail_time) {
+    ELSIM_ERROR("rejecting failure injection for node {}: repair at {} precedes failure at {}",
+                node, repair_time, fail_time);
+    return false;
+  }
+  engine_->schedule_at(fail_time, [this, node, repair_time] { fail_node(node, repair_time); });
   if (std::isfinite(repair_time)) {
     engine_->schedule_at(repair_time, [this, node] { restore_node(node); });
   }
+  return true;
 }
 
-void BatchSystem::fail_node(platform::NodeId node) {
-  if (failed_nodes_.count(node)) return;
+void BatchSystem::fail_node(platform::NodeId node, double repair_time) {
+  if (failed_nodes_.count(node)) {
+    // Double failure while a repair is pending: extend the outage window so
+    // the earlier repair event cannot return a still-broken node to service.
+    auto& until = repair_until_[node];
+    until = std::max(until, repair_time);
+    return;
+  }
   failed_nodes_.insert(node);
-  drained_nodes_.erase(node);
-  drain_pending_.erase(node);
+  repair_until_[node] = repair_time;
+  // A drained (or drain-pending) node that fails must come back from repair
+  // still drained — the maintenance intent outlives the failure.
+  if (drained_nodes_.erase(node) > 0 || drain_pending_.erase(node) > 0) {
+    drain_on_repair_.insert(node);
+  }
   ELSIM_INFO("t={} node {} failed", engine_->now(), node);
   trace(stats::TraceEvent::kNodeFail, 0, util::fmt("node {}", node));
   if (chrome_) chrome_->instant(util::fmt("node {} failed", node), engine_->now());
@@ -497,11 +550,22 @@ void BatchSystem::fail_node(platform::NodeId node) {
 }
 
 void BatchSystem::restore_node(platform::NodeId node) {
+  auto until = repair_until_.find(node);
+  if (until != repair_until_.end() && engine_->now() < until->second) {
+    return;  // a later-injected outage still covers this node
+  }
   if (failed_nodes_.erase(node) == 0) return;
-  free_nodes_.insert(node);
+  repair_until_.erase(node);
   ELSIM_INFO("t={} node {} restored", engine_->now(), node);
   trace(stats::TraceEvent::kNodeRestore, 0, util::fmt("node {}", node));
   if (chrome_) chrome_->instant(util::fmt("node {} restored", node), engine_->now());
+  if (drain_on_repair_.erase(node) > 0) {
+    drained_nodes_.insert(node);
+    ELSIM_INFO("t={} node {} repaired into drain", engine_->now(), node);
+    invoke_scheduler();
+    return;
+  }
+  free_nodes_.insert(node);
   invoke_scheduler();
 }
 
@@ -528,15 +592,38 @@ void BatchSystem::start_drain(platform::NodeId node) {
 
 void BatchSystem::undrain_node(platform::NodeId node) {
   if (drain_pending_.erase(node) > 0) return;  // never left service
+  if (drain_on_repair_.erase(node) > 0) return;  // still failed; repair frees it
   if (drained_nodes_.erase(node) == 0) return;
   free_nodes_.insert(node);
   ELSIM_INFO("t={} node {} back in service", engine_->now(), node);
   invoke_scheduler();
 }
 
+void BatchSystem::kill_evicted_job(Managed& job, const char* reason) {
+  const JobId id = job.job.id;
+  ELSIM_INFO("t={} job {} killed ({})", engine_->now(), id, reason);
+  job.state = JobState::kKilled;
+  recorder_->on_finish(id, engine_->now(), /*killed=*/true);
+  trace(stats::TraceEvent::kWalltimeKill, id, reason);
+  if (chrome_) chrome_->instant(util::fmt("job {} killed: {}", id, reason), engine_->now());
+  ++killed_;
+  --unfinished_;
+  resolve_dependents(id, /*succeeded=*/false);
+}
+
 void BatchSystem::evict_job(Managed& job) {
   const JobId id = job.job.id;
   assert(job.state == JobState::kRunning || job.state == JobState::kAtBoundary);
+  const double now = engine_->now();
+  const int allocation = static_cast<int>(job.nodes.size());
+  // Account the discarded work *before* tearing the execution down: a plain
+  // requeue loses the whole attempt; requeue-restart only the span since the
+  // last durable checkpoint.
+  const bool restartable = config_.failure_policy == FailurePolicy::kRequeueRestart;
+  const double anchor = restartable ? job.execution->durable_time() : job.start_time;
+  const double lost_seconds = std::max(0.0, now - anchor);
+  const double lost_node_seconds = lost_seconds * allocation;
+  if (restartable) job.checkpoint = job.execution->durable_progress();
   job.execution->abort();
   if (job.walltime_event != sim::kInvalidEventId) {
     engine_->cancel(job.walltime_event);
@@ -547,27 +634,36 @@ void BatchSystem::evict_job(Managed& job) {
   job.boundary_delta = 0;
   running_order_.erase(std::find(running_order_.begin(), running_order_.end(), id));
   if (config_.failure_policy == FailurePolicy::kKill) {
-    ELSIM_INFO("t={} job {} killed by node failure", engine_->now(), id);
-    job.state = JobState::kKilled;
-    recorder_->on_finish(id, engine_->now(), /*killed=*/true);
-    ++killed_;
-    --unfinished_;
-    resolve_dependents(id, /*succeeded=*/false);
-  } else {
-    ELSIM_INFO("t={} job {} requeued after node failure", engine_->now(), id);
-    job.state = JobState::kQueued;
     job.execution.reset();
-    job.start_time = -1.0;
-    recorder_->on_requeue(id, engine_->now());
-    trace(stats::TraceEvent::kRequeue, id);
-    if (chrome_) chrome_->instant(util::fmt("job {} requeued", id), engine_->now());
-    if (telemetry::enabled()) {
-      ensure_telemetry();
-      jobs_requeued_->add();
-    }
-    queue_order_.push_back(id);
-    ++requeues_;
+    kill_evicted_job(job, "node failure");
+    return;
   }
+  ++job.requeue_count;
+  if (config_.max_requeues > 0 && job.requeue_count > config_.max_requeues) {
+    job.execution.reset();
+    kill_evicted_job(job, "max requeues exceeded");
+    return;
+  }
+  ELSIM_INFO("t={} job {} requeued after node failure ({} node-seconds lost)", now, id,
+             lost_node_seconds);
+  job.state = JobState::kQueued;
+  job.execution.reset();
+  job.start_time = -1.0;
+  recorder_->on_requeue(id, now, lost_node_seconds, lost_seconds);
+  trace(stats::TraceEvent::kRequeue, id,
+        util::fmt("lost {} node-seconds{}", lost_node_seconds,
+                  restartable && !job.checkpoint.at_origin()
+                      ? util::fmt(", checkpoint phase {} iter {}", job.checkpoint.phase,
+                                  job.checkpoint.iteration)
+                      : std::string()));
+  if (chrome_) chrome_->instant(util::fmt("job {} requeued", id), now);
+  if (telemetry::enabled()) {
+    ensure_telemetry();
+    jobs_requeued_->add();
+    lost_node_seconds_hist_->record(lost_node_seconds);
+  }
+  queue_order_.push_back(id);
+  ++requeues_;
 }
 
 // ---------------------------------------------------------------------------
@@ -644,6 +740,8 @@ void BatchSystem::ensure_telemetry() {
   nodes_released_ = &registry.counter("cluster.nodes_released");
   jobs_started_ = &registry.counter("batch.jobs_started");
   jobs_requeued_ = &registry.counter("batch.requeues");
+  checkpoint_restarts_ = &registry.counter("batch.checkpoint_restarts");
+  lost_node_seconds_hist_ = &registry.histogram("batch.lost_node_seconds");
   expansions_ = &registry.counter("batch.expansions");
   shrinks_ = &registry.counter("batch.shrinks");
 }

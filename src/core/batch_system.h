@@ -19,7 +19,10 @@
 
 #include <limits>
 #include <memory>
+#include <optional>
 #include <set>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -56,9 +59,17 @@ enum class PlacementPolicy {
 enum class FailurePolicy {
   /// The job is terminated and recorded as killed.
   kKill,
-  /// The job loses its progress and re-enters the queue (resubmission).
+  /// The job loses all progress and re-enters the queue (resubmission).
   kRequeue,
+  /// The job re-enters the queue and, when restarted, resumes from its last
+  /// completed checkpoint (IoTask::checkpoint) instead of from scratch,
+  /// paying BatchConfig::restart_overhead. Jobs without checkpoints behave
+  /// exactly like kRequeue.
+  kRequeueRestart,
 };
+
+std::string to_string(FailurePolicy policy);
+std::optional<FailurePolicy> failure_policy_from_string(std::string_view name);
 
 struct BatchConfig {
   /// Periodic scheduler invocation interval; 0 disables the timer (the
@@ -69,6 +80,13 @@ struct BatchConfig {
   bool charge_reconfiguration = true;
   /// Reaction to injected node failures.
   FailurePolicy failure_policy = FailurePolicy::kRequeue;
+  /// Seconds of recovery work (checkpoint read-back, re-initialization) a
+  /// kRequeueRestart job pays on its allocation before resuming.
+  double restart_overhead = 0.0;
+  /// Requeues a job may accumulate before a further eviction kills it
+  /// instead (guards against requeue thrashing under heavy churn);
+  /// 0 = unlimited.
+  int max_requeues = 0;
   /// Node-selection strategy for starts and expansions.
   PlacementPolicy placement = PlacementPolicy::kLowestId;
 };
@@ -97,8 +115,12 @@ class BatchSystem final : public SchedulerContext {
   /// Schedules node `node` to fail at `fail_time` and (optionally) return to
   /// service at `repair_time`. A failed node leaves the free pool; a job
   /// running on it is killed or requeued per BatchConfig::failure_policy.
-  /// Call before or during the simulation.
-  void inject_failure(platform::NodeId node, double fail_time,
+  /// Overlapping injections for one node union their outage windows: the
+  /// node returns to service only once the latest scheduled repair passes.
+  /// Call before or during the simulation. Returns false (and injects
+  /// nothing) for invalid input: a node outside the cluster, a non-finite or
+  /// negative fail time, or a repair before the failure.
+  bool inject_failure(platform::NodeId node, double fail_time,
                       double repair_time = std::numeric_limits<double>::infinity());
 
   /// Graceful maintenance drain: from `when`, the node accepts no new work;
@@ -152,6 +174,11 @@ class BatchSystem final : public SchedulerContext {
     std::unique_ptr<JobExecution> execution;
     double start_time = -1.0;
     sim::EventId walltime_event = sim::kInvalidEventId;
+    /// Durable progress carried across requeues (kRequeueRestart): the next
+    /// start resumes here instead of the first iteration.
+    ExecutionProgress checkpoint;
+    /// Evictions this job has survived (the max_requeues guard's counter).
+    int requeue_count = 0;
     /// Scheduler-requested size; -1 = none.
     int pending_target = -1;
     /// Evolving delta captured at the current boundary.
@@ -167,8 +194,10 @@ class BatchSystem final : public SchedulerContext {
   /// Dependency bookkeeping: release or cancel the dependents of `id`.
   void resolve_dependents(workload::JobId id, bool succeeded);
   void cancel_job(Managed& job);
-  void fail_node(platform::NodeId node);
+  void fail_node(platform::NodeId node, double repair_time);
   void restore_node(platform::NodeId node);
+  /// Terminal kill shared by the kKill policy and the max_requeues guard.
+  void kill_evicted_job(Managed& job, const char* reason);
   void start_drain(platform::NodeId node);
   void undrain_node(platform::NodeId node);
   /// Returns a node to service after a job releases it, honoring failure
@@ -212,6 +241,8 @@ class BatchSystem final : public SchedulerContext {
   telemetry::Counter* nodes_released_ = nullptr;
   telemetry::Counter* jobs_started_ = nullptr;
   telemetry::Counter* jobs_requeued_ = nullptr;
+  telemetry::Counter* checkpoint_restarts_ = nullptr;
+  telemetry::Histogram* lost_node_seconds_hist_ = nullptr;
   telemetry::Counter* expansions_ = nullptr;
   telemetry::Counter* shrinks_ = nullptr;
 
@@ -223,6 +254,12 @@ class BatchSystem final : public SchedulerContext {
   std::set<platform::NodeId> failed_nodes_;
   std::set<platform::NodeId> drained_nodes_;      // out of service, intact
   std::set<platform::NodeId> drain_pending_;      // busy; drain on release
+  /// Nodes that were drained (or drain-pending) when they failed: repair
+  /// returns them to the drain, not to service.
+  std::set<platform::NodeId> drain_on_repair_;
+  /// Latest scheduled repair per currently failed node; a repair event only
+  /// restores the node once no later outage window covers it.
+  std::unordered_map<platform::NodeId, double> repair_until_;
 
   std::vector<QueuedJob> queue_view_;
   std::vector<RunningJob> running_view_;

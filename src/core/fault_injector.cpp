@@ -1,0 +1,161 @@
+#include "core/fault_injector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/batch_system.h"
+#include "util/log.h"
+#include "util/rng.h"
+
+namespace elastisim::core {
+
+std::string to_string(FailureDistribution dist) {
+  switch (dist) {
+    case FailureDistribution::kExponential: return "exponential";
+    case FailureDistribution::kWeibull: return "weibull";
+  }
+  return "?";
+}
+
+std::string to_string(RepairDistribution dist) {
+  switch (dist) {
+    case RepairDistribution::kConstant: return "constant";
+    case RepairDistribution::kLognormal: return "lognormal";
+  }
+  return "?";
+}
+
+namespace {
+
+double draw_interarrival(util::Rng& rng, const FaultModelConfig& config) {
+  switch (config.failure_distribution) {
+    case FailureDistribution::kExponential: return rng.exponential(1.0 / config.mtbf);
+    case FailureDistribution::kWeibull: {
+      // Choose the scale so the configured mtbf is the distribution's mean:
+      // E[Weibull(k, lambda)] = lambda * Gamma(1 + 1/k).
+      const double scale = config.mtbf / std::tgamma(1.0 + 1.0 / config.weibull_shape);
+      return rng.weibull(config.weibull_shape, scale);
+    }
+  }
+  return config.mtbf;
+}
+
+double draw_repair(util::Rng& rng, const FaultModelConfig& config) {
+  switch (config.repair_distribution) {
+    case RepairDistribution::kConstant: return config.mean_repair;
+    case RepairDistribution::kLognormal: {
+      // Pick mu so the lognormal's mean equals mean_repair:
+      // E[LogNormal(mu, sigma)] = exp(mu + sigma^2 / 2).
+      const double sigma = config.repair_sigma;
+      const double mu = std::log(config.mean_repair) - sigma * sigma / 2.0;
+      return rng.log_normal(mu, sigma);
+    }
+  }
+  return config.mean_repair;
+}
+
+}  // namespace
+
+std::vector<FailureEvent> FaultInjector::generate(std::size_t node_count,
+                                                  std::size_t pod_size) const {
+  std::vector<FailureEvent> events;
+  if (config_.mtbf <= 0.0 || config_.horizon <= 0.0 || node_count == 0) return events;
+  assert(config_.weibull_shape > 0.0 && "weibull shape must be positive");
+  assert(config_.mean_repair >= 0.0 && "negative repair duration");
+
+  // One child stream per node, all derived from the master seed in node
+  // order: node i's schedule is independent of node_count and horizon, so
+  // growing the cluster or the window never perturbs existing draws.
+  util::Rng master(config_.seed);
+  std::vector<util::Rng> streams;
+  streams.reserve(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) streams.push_back(master.split());
+
+  for (std::size_t node = 0; node < node_count; ++node) {
+    util::Rng& rng = streams[node];
+    double clock = 0.0;
+    while (true) {
+      clock += draw_interarrival(rng, config_);
+      if (clock >= config_.horizon) break;
+      const double repair = std::max(0.0, draw_repair(rng, config_));
+      events.push_back({static_cast<platform::NodeId>(node), clock, clock + repair});
+      // Correlated pod failure: each same-pod neighbor goes down with the
+      // outage window of the primary, drawn from the *primary's* stream so
+      // the whole cascade replays from one seed.
+      if (config_.pod_correlation > 0.0 && pod_size > 1) {
+        const std::size_t pod_begin = (node / pod_size) * pod_size;
+        const std::size_t pod_end = std::min(pod_begin + pod_size, node_count);
+        for (std::size_t neighbor = pod_begin; neighbor < pod_end; ++neighbor) {
+          if (neighbor == node) continue;
+          if (rng.bernoulli(config_.pod_correlation)) {
+            events.push_back(
+                {static_cast<platform::NodeId>(neighbor), clock, clock + repair});
+          }
+        }
+      }
+      clock += repair;
+    }
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FailureEvent& a, const FailureEvent& b) {
+                     if (a.fail_time != b.fail_time) return a.fail_time < b.fail_time;
+                     return a.node < b.node;
+                   });
+  return events;
+}
+
+std::size_t FaultInjector::apply(BatchSystem& batch, const std::vector<FailureEvent>& events) {
+  std::size_t accepted = 0;
+  for (const FailureEvent& event : events) {
+    if (batch.inject_failure(event.node, event.fail_time, event.repair_time)) ++accepted;
+  }
+  return accepted;
+}
+
+json::Value FaultInjector::to_json(const std::vector<FailureEvent>& events) {
+  json::Array list;
+  list.reserve(events.size());
+  for (const FailureEvent& event : events) {
+    json::Object entry;
+    entry["node"] = static_cast<std::int64_t>(event.node);
+    entry["fail"] = event.fail_time;
+    entry["repair"] = event.repair_time;
+    list.push_back(json::Value(std::move(entry)));
+  }
+  json::Object root;
+  root["failures"] = json::Value(std::move(list));
+  return json::Value(std::move(root));
+}
+
+std::vector<FailureEvent> FaultInjector::from_json(const json::Value& value) {
+  std::vector<FailureEvent> events;
+  const json::Value* list = value.find("failures");
+  if (!list || !list->is_array()) {
+    ELSIM_WARN("failure trace has no \"failures\" array; nothing loaded");
+    return events;
+  }
+  events.reserve(list->as_array().size());
+  for (const json::Value& entry : list->as_array()) {
+    FailureEvent event;
+    event.node = static_cast<platform::NodeId>(entry.member_or("node", std::int64_t{0}));
+    event.fail_time = entry.member_or("fail", 0.0);
+    event.repair_time =
+        entry.member_or("repair", std::numeric_limits<double>::infinity());
+    events.push_back(event);
+  }
+  return events;
+}
+
+void FaultInjector::save_trace(const std::string& path,
+                               const std::vector<FailureEvent>& events) {
+  json::write_file(path, to_json(events));
+}
+
+std::vector<FailureEvent> FaultInjector::load_trace(const std::string& path) {
+  return from_json(json::parse_file(path));
+}
+
+}  // namespace elastisim::core

@@ -1,0 +1,101 @@
+// Stochastic fault injection: turns per-node MTBF models into a concrete,
+// reproducible failure schedule for BatchSystem::inject_failure.
+//
+// Each node runs an independent renewal process seeded from a per-node child
+// stream of the master seed, so the schedule for node i never changes when
+// nodes are added or the horizon grows. Failure interarrivals are exponential
+// (memoryless) or Weibull (shape > 1 wear-out, shape < 1 infant mortality);
+// repair durations are constant or lognormal. Optionally, a failure may take
+// down additional nodes in the same pod (correlated failures: shared power,
+// cooling, or top-of-rack switch).
+//
+// A generated schedule serializes to a JSON trace (docs/FORMATS.md) so a run
+// can be replayed exactly or a recorded production trace can be injected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "platform/cluster.h"
+
+namespace elastisim::core {
+
+class BatchSystem;
+
+/// How failure interarrival times are drawn.
+enum class FailureDistribution {
+  kExponential,  ///< memoryless; rate 1/mtbf
+  kWeibull,      ///< shape-parameterized; scale derived so the mean is mtbf
+};
+
+/// How repair (downtime) durations are drawn.
+enum class RepairDistribution {
+  kConstant,   ///< every repair takes mean_repair seconds
+  kLognormal,  ///< lognormal with mean mean_repair (sigma configurable)
+};
+
+std::string to_string(FailureDistribution dist);
+std::string to_string(RepairDistribution dist);
+
+struct FaultModelConfig {
+  /// Per-node mean time between failures, seconds. <= 0 disables generation.
+  double mtbf = 0.0;
+  FailureDistribution failure_distribution = FailureDistribution::kExponential;
+  /// Weibull shape k (only with kWeibull); 1.0 degenerates to exponential.
+  double weibull_shape = 1.0;
+  /// Mean repair duration, seconds.
+  double mean_repair = 3600.0;
+  RepairDistribution repair_distribution = RepairDistribution::kConstant;
+  /// Sigma of the underlying normal for lognormal repairs (mean preserved).
+  double repair_sigma = 0.5;
+  /// Probability that a failure also takes down each other node of the same
+  /// pod (drawn independently per neighbor); 0 disables correlation.
+  double pod_correlation = 0.0;
+  /// Generation horizon, seconds: failures are drawn until each node's
+  /// renewal process passes this time.
+  double horizon = 86400.0;
+  /// Master seed; per-node streams are split() children of it.
+  std::uint64_t seed = 1;
+};
+
+/// One scheduled outage: node down at fail_time, back at repair_time.
+struct FailureEvent {
+  platform::NodeId node = 0;
+  double fail_time = 0.0;
+  double repair_time = 0.0;
+
+  friend bool operator==(const FailureEvent&, const FailureEvent&) = default;
+};
+
+/// Generates and injects failure schedules. Stateless besides the config;
+/// generate() is a pure function of (config, node_count, pod_size).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultModelConfig config) : config_(config) {}
+
+  const FaultModelConfig& config() const { return config_; }
+
+  /// Draws the full failure schedule for a cluster of `node_count` nodes.
+  /// `pod_size` > 0 enables pod-correlated secondary failures (nodes
+  /// [p*pod_size, (p+1)*pod_size) share pod p). The result is sorted by
+  /// (fail_time, node) and is byte-identical across runs for a fixed config.
+  std::vector<FailureEvent> generate(std::size_t node_count, std::size_t pod_size = 0) const;
+
+  /// Injects `events` into `batch`. Returns the number of events accepted
+  /// (inject_failure validates each one).
+  static std::size_t apply(BatchSystem& batch, const std::vector<FailureEvent>& events);
+
+  // --- Trace (de)serialization --------------------------------------------
+  /// {"failures": [{"node": 3, "fail": 120.0, "repair": 1920.0}, ...]}
+  static json::Value to_json(const std::vector<FailureEvent>& events);
+  static std::vector<FailureEvent> from_json(const json::Value& value);
+  static void save_trace(const std::string& path, const std::vector<FailureEvent>& events);
+  static std::vector<FailureEvent> load_trace(const std::string& path);
+
+ private:
+  FaultModelConfig config_;
+};
+
+}  // namespace elastisim::core

@@ -33,8 +33,33 @@ JobExecution::~JobExecution() {
 
 const Phase& JobExecution::current_phase() const { return job_->application.phases[phase_]; }
 
-void JobExecution::start() {
+void JobExecution::start() { start_from(ExecutionProgress{}); }
+
+void JobExecution::start_from(ExecutionProgress from, double restart_overhead) {
   assert(state_ == State::kIdle);
+  assert(from.phase < job_->application.phases.size());
+  assert(from.iteration >= 0 &&
+         from.iteration < job_->application.phases[from.phase].iterations);
+  phase_ = from.phase;
+  iteration_ = from.iteration;
+  durable_ = from;
+  durable_time_ = engine_->now();
+  if (restart_overhead > 0.0 && !from.at_origin()) {
+    // Recovery cost (checkpoint read-back, re-initialization) occupies the
+    // allocation before the resumed iteration begins.
+    state_ = State::kRunningGroup;
+    sim::ActivitySpec spec;
+    spec.label = util::fmt("job{}/restart", job_->id);
+    spec.work = restart_overhead;
+    spec.rate_cap = 1.0;
+    const std::uint64_t generation = generation_;
+    active_.push_back(engine_->fluid().start(std::move(spec), [this, generation] {
+      if (generation != generation_) return;
+      active_.clear();
+      begin_iteration();
+    }));
+    return;
+  }
   begin_iteration();
 }
 
@@ -69,6 +94,16 @@ void JobExecution::on_task_complete() {
   }
 }
 
+bool JobExecution::phase_has_checkpoint(const Phase& phase) {
+  for (const workload::TaskGroup& group : phase.groups) {
+    for (const Task& task : group) {
+      const auto* io = std::get_if<workload::IoTask>(&task.payload);
+      if (io && io->checkpoint) return true;
+    }
+  }
+  return false;
+}
+
 bool JobExecution::advance_position() {
   ++iteration_;
   if (iteration_ >= current_phase().iterations) {
@@ -79,11 +114,19 @@ bool JobExecution::advance_position() {
 }
 
 void JobExecution::finish_iteration() {
+  // An iteration that wrote a checkpoint makes the *next* position durable:
+  // every task of the iteration (the checkpoint included) has completed, so a
+  // restart can resume right behind it.
+  const bool checkpointed = phase_has_checkpoint(current_phase());
   if (!advance_position()) {
     state_ = State::kDone;
     ELSIM_DEBUG("job {} application complete at t={}", job_->id, engine_->now());
     if (on_complete_) on_complete_();
     return;
+  }
+  if (checkpointed) {
+    durable_ = ExecutionProgress{phase_, iteration_};
+    durable_time_ = engine_->now();
   }
   state_ = State::kAtBoundary;
   // An evolving request is raised when a phase is *entered* (iteration 0).

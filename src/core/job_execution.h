@@ -18,6 +18,16 @@
 
 namespace elastisim::core {
 
+/// A position in an application's (phase, iteration) grid — the granularity
+/// at which checkpoint/restart recovery resumes a job.
+struct ExecutionProgress {
+  std::size_t phase = 0;
+  int iteration = 0;
+
+  bool at_origin() const { return phase == 0 && iteration == 0; }
+  friend bool operator==(const ExecutionProgress&, const ExecutionProgress&) = default;
+};
+
 class JobExecution {
  public:
   /// Fired at each scheduling point. `evolving_delta` is non-zero when the
@@ -37,6 +47,14 @@ class JobExecution {
 
   /// Begins the first iteration. Must be called exactly once.
   void start();
+
+  /// Begins execution at `from` (a durable_progress() value captured from a
+  /// previous attempt) instead of the first iteration — checkpoint/restart
+  /// recovery. When `restart_overhead` > 0, that many seconds of recovery
+  /// work (checkpoint read-back, re-initialization) run on the allocation
+  /// before the first resumed iteration. Must be called exactly once, in
+  /// place of start().
+  void start_from(ExecutionProgress from, double restart_overhead = 0.0);
 
   /// Continues past the current scheduling point without changes.
   void resume();
@@ -60,10 +78,22 @@ class JobExecution {
   /// Index of the phase the execution is in (or about to enter).
   std::size_t phase_index() const { return phase_; }
 
+  /// Latest position this attempt could restart from: advances to the
+  /// iteration after each completed iteration that wrote a checkpoint
+  /// (IoTask::checkpoint). Starts at the position start()/start_from() began
+  /// at, so progress is monotone across requeue attempts.
+  ExecutionProgress durable_progress() const { return durable_; }
+  /// Simulation time the durable position was last advanced (the attempt's
+  /// start until the first checkpoint completes). Work performed after this
+  /// instant is lost if the job is evicted.
+  double durable_time() const { return durable_time_; }
+
  private:
   enum class State { kIdle, kRunningGroup, kAtBoundary, kRedistributing, kDone, kAborted };
 
   const workload::Phase& current_phase() const;
+  /// Whether any task of `phase` is a durable checkpoint write.
+  static bool phase_has_checkpoint(const workload::Phase& phase);
   void begin_iteration();
   void begin_group();
   void on_task_complete();
@@ -96,6 +126,8 @@ class JobExecution {
   State state_ = State::kIdle;
   std::size_t phase_ = 0;
   int iteration_ = 0;
+  ExecutionProgress durable_;
+  double durable_time_ = 0.0;
   std::size_t group_ = 0;
   std::size_t outstanding_tasks_ = 0;
   std::vector<sim::ActivityId> active_;

@@ -62,10 +62,13 @@ void Recorder::on_start(workload::JobId id, double time, int nodes) {
   change_allocation(time, nodes);
 }
 
-void Recorder::on_requeue(workload::JobId id, double time) {
+void Recorder::on_requeue(workload::JobId id, double time, double lost_node_seconds,
+                          double redone_seconds) {
   accrue(id, time);
   JobRecord& record = record_for(id);
   ++record.requeues;
+  record.lost_node_seconds += lost_node_seconds;
+  record.redone_seconds += redone_seconds;
   change_allocation(time, -running_.at(id).nodes);
   running_.erase(id);
 }
@@ -198,6 +201,24 @@ int Recorder::total_shrinks() const {
   return total;
 }
 
+int Recorder::total_requeues() const {
+  int total = 0;
+  for (const JobRecord& record : records_) total += record.requeues;
+  return total;
+}
+
+double Recorder::total_lost_node_seconds() const {
+  double total = 0.0;
+  for (const JobRecord& record : records_) total += record.lost_node_seconds;
+  return total;
+}
+
+double Recorder::total_redone_seconds() const {
+  double total = 0.0;
+  for (const JobRecord& record : records_) total += record.redone_seconds;
+  return total;
+}
+
 double Recorder::average_utilization() const {
   const double span = makespan();
   if (span <= 0.0 || total_nodes_ <= 0) return 0.0;
@@ -247,13 +268,14 @@ void Recorder::write_jobs_csv(std::ostream& out) const {
   csv.typed_row("id", "name", "user", "type", "submit", "start", "end", "wait", "turnaround",
                 "bounded_slowdown", "initial_nodes", "final_nodes", "expansions", "shrinks",
                 "evolving_requests", "evolving_granted", "requeues", "node_seconds",
-                "killed", "cancelled");
+                "lost_node_seconds", "redone_seconds", "killed", "cancelled");
   for (const JobRecord& record : records_) {
     csv.typed_row(record.id, record.name, record.user, workload::to_string(record.type), record.submit_time,
                   record.start_time, record.end_time, record.wait_time(), record.turnaround(),
                   record.bounded_slowdown(), record.initial_nodes, record.final_nodes,
                   record.expansions, record.shrinks, record.evolving_requests,
                   record.evolving_granted, record.requeues, record.node_seconds,
+                  record.lost_node_seconds, record.redone_seconds,
                   record.killed ? "true" : "false", record.cancelled ? "true" : "false");
   }
 }

@@ -34,6 +34,14 @@ struct JobRecord {
   /// Times the job lost its nodes (failure) and re-entered the queue.
   int requeues = 0;
   double node_seconds = 0.0;  // integral of allocation size over runtime
+  /// Node-seconds discarded by requeues: allocation size times the span
+  /// between the last durable checkpoint (or the attempt's start) and the
+  /// eviction. Under plain requeue every attempt is discarded in full;
+  /// requeue-restart only loses the tail behind the last checkpoint.
+  double lost_node_seconds = 0.0;
+  /// Wall-clock seconds of progress the job must re-execute after its
+  /// requeues (the same span as lost_node_seconds, not weighted by nodes).
+  double redone_seconds = 0.0;
 
   bool started() const { return start_time >= 0.0; }
   /// Has an end time — includes cancelled jobs, which never ran.
@@ -64,7 +72,10 @@ class Recorder {
   /// after a requeue and leave the original start in place.
   void on_start(workload::JobId id, double time, int nodes);
   /// Job lost its allocation (node failure) and went back to the queue.
-  void on_requeue(workload::JobId id, double time);
+  /// `lost_node_seconds` / `redone_seconds` account the work discarded by
+  /// this eviction (zero when unknown).
+  void on_requeue(workload::JobId id, double time, double lost_node_seconds = 0.0,
+                  double redone_seconds = 0.0);
   /// `granted_evolving` distinguishes scheduler-initiated resizes from
   /// application (evolving) requests for the request/grant counters.
   void on_resize(workload::JobId id, double time, int new_nodes);
@@ -102,6 +113,10 @@ class Recorder {
   double mean_bounded_slowdown(double tau = 10.0) const;
   int total_expansions() const;
   int total_shrinks() const;
+  int total_requeues() const;
+  /// Node-seconds discarded across all requeues (resilience experiments).
+  double total_lost_node_seconds() const;
+  double total_redone_seconds() const;
   /// Node-seconds used by jobs divided by (makespan * total_nodes).
   double average_utilization() const;
   /// Mean allocated-node fraction inside [t, t + bucket) windows covering

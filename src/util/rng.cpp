@@ -63,6 +63,12 @@ double Rng::exponential(double lambda) {
   return -std::log(1.0 - uniform()) / lambda;
 }
 
+double Rng::weibull(double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  // Inverse CDF: scale * (-ln(1 - U))^(1/shape); 1 - uniform() is in (0, 1].
+  return scale * std::pow(-std::log(1.0 - uniform()), 1.0 / shape);
+}
+
 double Rng::log_uniform(double lo, double hi) {
   assert(lo > 0.0 && lo <= hi);
   return std::exp(uniform(std::log(lo), std::log(hi)));

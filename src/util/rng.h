@@ -34,6 +34,12 @@ class Rng {
   /// Exponential with the given rate (lambda > 0); mean is 1/lambda.
   double exponential(double lambda);
 
+  /// Weibull with shape k > 0 and scale lambda > 0 (inverse-CDF sampling);
+  /// mean is lambda * Gamma(1 + 1/k). shape == 1 degenerates to an
+  /// exponential with mean lambda; shape > 1 models wear-out failures
+  /// (increasing hazard), shape < 1 infant mortality.
+  double weibull(double shape, double scale);
+
   /// Log-uniform: exp(U(log lo, log hi)). Requires 0 < lo <= hi.
   double log_uniform(double lo, double hi);
 

@@ -66,6 +66,11 @@ struct IoTask {
   double bytes = 0.0;
   ScalingModel scaling = ScalingModel::kStrong;
   IoTarget target = IoTarget::kPfs;
+  /// Marks this write as a durable application checkpoint: once the iteration
+  /// containing it completes, a requeued job under the requeue-restart
+  /// failure policy resumes from the following iteration instead of from
+  /// scratch.
+  bool checkpoint = false;
 };
 
 struct DelayTask {

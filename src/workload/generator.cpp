@@ -53,12 +53,43 @@ Application build_application(const GeneratorConfig& config, Rng& rng, JobType t
     loop.groups.push_back(
         {Task{"exchange", CommTask{CommPattern::kAllReduce, config.comm_bytes}}});
   }
-  if (with_checkpoint) {
-    loop.groups.push_back(
-        {Task{"checkpoint", IoTask{true, config.checkpoint_bytes, ScalingModel::kStrong,
-                                   IoTarget::kPfs}}});
+  const Task checkpoint_task{
+      "checkpoint", IoTask{true, config.checkpoint_bytes, ScalingModel::kStrong,
+                           IoTarget::kPfs, /*checkpoint=*/true}};
+  const int every = std::max(1, config.checkpoint_every);
+  if (with_checkpoint && every <= 1) {
+    // Every iteration ends with a durable checkpoint write.
+    loop.groups.push_back({checkpoint_task});
+    app.phases.push_back(std::move(loop));
+  } else if (with_checkpoint && iterations > every) {
+    // Checkpoint every `every`-th iteration: alternate (every - 1)-iteration
+    // plain segments with single checkpointed iterations, preserving the
+    // total iteration count.
+    Phase ckpt = loop;
+    ckpt.iterations = 1;
+    ckpt.groups.push_back({checkpoint_task});
+    int remaining = iterations;
+    int segment = 0;
+    while (remaining > 0) {
+      const int plain = std::min(every - 1, remaining - 1);
+      if (plain > 0) {
+        Phase work = loop;
+        work.name = util::fmt("main-loop/{}", segment);
+        work.iterations = plain;
+        app.phases.push_back(std::move(work));
+        remaining -= plain;
+      }
+      Phase write = ckpt;
+      write.name = util::fmt("main-loop/{}/ckpt", segment);
+      app.phases.push_back(std::move(write));
+      --remaining;
+      ++segment;
+    }
+  } else {
+    // No checkpointing, or the interval exceeds the loop: at most a final
+    // checkpoint (which is never restarted from, so omit it entirely).
+    app.phases.push_back(std::move(loop));
   }
-  app.phases.push_back(std::move(loop));
 
   if (with_io) {
     Phase output;
@@ -125,6 +156,26 @@ void calibrate_work(Job& job) {
 }
 
 }  // namespace
+
+double young_daly_interval(double checkpoint_seconds, double mtbf_seconds) {
+  assert(checkpoint_seconds >= 0.0 && mtbf_seconds > 0.0);
+  if (checkpoint_seconds <= 0.0) return 0.0;
+  // Daly (FGCS 2006): for C < 2M the optimum is
+  //   sqrt(2CM) * (1 + sqrt(C/2M)/3 + (C/2M)/9) - C,
+  // which refines Young's sqrt(2CM) first-order solution; beyond C = 2M the
+  // model degenerates and checkpointing once per MTBF is as good as it gets.
+  if (checkpoint_seconds >= 2.0 * mtbf_seconds) return mtbf_seconds;
+  const double ratio = checkpoint_seconds / (2.0 * mtbf_seconds);
+  const double young = std::sqrt(2.0 * checkpoint_seconds * mtbf_seconds);
+  return young * (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) - checkpoint_seconds;
+}
+
+int daly_checkpoint_every(double checkpoint_seconds, double mtbf_seconds,
+                          double iteration_seconds) {
+  assert(iteration_seconds > 0.0);
+  const double interval = young_daly_interval(checkpoint_seconds, mtbf_seconds);
+  return std::max(1, static_cast<int>(std::lround(interval / iteration_seconds)));
+}
 
 double estimate_runtime(const Job& job, int nodes, double flops_per_node) {
   assert(nodes >= 1);

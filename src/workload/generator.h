@@ -57,6 +57,11 @@ struct GeneratorConfig {
   /// Fraction of jobs that write a small checkpoint every iteration.
   double checkpoint_fraction = 0.0;
   double checkpoint_bytes = 64.0 * 1024 * 1024;
+  /// Iterations between checkpoints for checkpointing jobs. 1 (the default)
+  /// appends a checkpoint write to every main-loop iteration; n > 1 segments
+  /// the main loop so only every n-th iteration ends with one. Pick from a
+  /// target interval in seconds with daly_checkpoint_every().
+  int checkpoint_every = 1;
 
   /// Per-node state redistributed when a malleable job resizes.
   double state_bytes_per_node = 256.0 * 1024 * 1024;
@@ -84,5 +89,18 @@ std::vector<Job> generate_workload(const GeneratorConfig& config);
 /// given per-node compute capacity; ignores network contention. Used for
 /// walltime limits and by schedulers as the user-provided estimate.
 double estimate_runtime(const Job& job, int nodes, double flops_per_node);
+
+/// Near-optimal checkpoint interval (seconds of work between checkpoints)
+/// for a checkpoint cost of `checkpoint_seconds` and a per-job MTBF of
+/// `mtbf_seconds`, using Daly's higher-order refinement of Young's
+/// sqrt(2 * C * M) formula. Returns mtbf_seconds when checkpointing costs
+/// more than half an MTBF (checkpoint as rarely as possible).
+double young_daly_interval(double checkpoint_seconds, double mtbf_seconds);
+
+/// Maps young_daly_interval() onto the generator's iteration granularity:
+/// the number of `iteration_seconds`-long iterations closest to the optimal
+/// interval (at least 1).
+int daly_checkpoint_every(double checkpoint_seconds, double mtbf_seconds,
+                          double iteration_seconds);
 
 }  // namespace elastisim::workload

@@ -29,6 +29,7 @@ json::Value task_to_json(const Task& task) {
     out["bytes"] = io->bytes;
     out["scaling"] = to_string(io->scaling);
     out["target"] = io->target == IoTarget::kPfs ? "pfs" : "burst-buffer";
+    if (io->checkpoint) out["checkpoint"] = true;
   } else if (const auto* delay = std::get_if<DelayTask>(&task.payload)) {
     out["type"] = "delay";
     out["seconds"] = delay->seconds;
@@ -80,6 +81,7 @@ Task task_from_json(const json::Value& value) {
     io.write = value.member_or("write", true);
     io.bytes = value.member_or("bytes", 0.0);
     io.scaling = scaling_from_string(value.member_or("scaling", "strong"));
+    io.checkpoint = value.member_or("checkpoint", false);
     const std::string target = value.member_or("target", "pfs");
     if (target == "pfs") {
       io.target = IoTarget::kPfs;
