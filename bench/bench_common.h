@@ -14,6 +14,7 @@
 #include "core/simulation.h"
 #include "json/json.h"
 #include "platform/cluster.h"
+#include "stats/journal.h"
 #include "stats/telemetry.h"
 #include "workload/generator.h"
 
@@ -58,6 +59,17 @@ inline workload::GeneratorConfig reference_workload(double malleable_fraction,
   return config;
 }
 
+/// Directory from ELSIM_BENCH_JOURNAL ("1" = working directory), empty when
+/// the variable is unset — the opt-in switch for per-run decision journals.
+inline const std::string& journal_dir() {
+  static const std::string dir = [] {
+    const char* raw = std::getenv("ELSIM_BENCH_JOURNAL");
+    if (!raw || !*raw) return std::string();
+    return std::string(raw) == "1" ? std::string(".") : std::string(raw);
+  }();
+  return dir;
+}
+
 inline core::SimulationResult run(const platform::ClusterConfig& platform,
                                   const std::string& scheduler,
                                   std::vector<workload::Job> jobs,
@@ -66,8 +78,25 @@ inline core::SimulationResult run(const platform::ClusterConfig& platform,
   config.platform = platform;
   config.scheduler = scheduler;
   config.batch = batch;
+  stats::DecisionJournal journal;
+  if (!journal_dir().empty()) config.journal = &journal;
   const double wall_begin = telemetry::enabled() ? telemetry::wall_now() : 0.0;
   core::SimulationResult result = core::run_simulation(config, std::move(jobs));
+  if (config.journal) {
+    // One journal per bench::run(), numbered in call order:
+    //   <dir>/<scheduler>.<n>.journal.jsonl
+    static int run_index = 0;
+    const std::string path = journal_dir() + "/" + scheduler + "." +
+                             std::to_string(run_index++) + ".journal.jsonl";
+    try {
+      std::filesystem::create_directories(journal_dir());
+      journal.save(path);
+      std::fprintf(stderr, "journal: wrote %s (%zu records)\n", path.c_str(),
+                   journal.size());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "journal: write failed: %s\n", error.what());
+    }
+  }
   if (telemetry::enabled()) {
     auto& registry = telemetry::Registry::global();
     registry.counter("bench.runs").add();

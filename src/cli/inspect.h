@@ -1,0 +1,18 @@
+// `elastisim inspect` — offline tooling over decision journals written with
+// --journal (see docs/CLI.md):
+//
+//   elastisim inspect --job <id> <journal.jsonl>   why-did-this-job-wait timeline
+//   elastisim inspect --diff <a.jsonl> <b.jsonl>   first divergent decision
+#pragma once
+
+namespace elastisim::util {
+class Flags;
+}
+
+namespace elastisim::cli {
+
+/// Returns the process exit code: 0 on success (including a reported
+/// divergence), 1 on unreadable/malformed input, 2 on bad usage.
+int run_inspect(const util::Flags& flags);
+
+}  // namespace elastisim::cli

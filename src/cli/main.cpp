@@ -13,8 +13,12 @@
 //   <out-dir>/summary.json    headline metrics,
 //   <out-dir>/telemetry.json  counters/gauges/histograms (with --telemetry),
 // printing the summary to stdout as well. --chrome-trace <file> additionally
-// writes a Chrome trace_event JSON viewable in Perfetto (see
-// docs/OBSERVABILITY.md).
+// writes a Chrome trace_event JSON viewable in Perfetto, and --journal <file>
+// a JSONL decision journal explaining every scheduling verdict (see
+// docs/OBSERVABILITY.md). The journal feeds the offline subcommand
+//
+//   elastisim inspect --job <id> <journal>    why a job waited
+//   elastisim inspect --diff <a> <b>          first divergent decision
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -23,10 +27,12 @@
 #include <iostream>
 #include <optional>
 
+#include "cli/inspect.h"
 #include "core/fault_injector.h"
 #include "core/simulation.h"
 #include "json/json.h"
 #include "stats/chrome_trace.h"
+#include "stats/journal.h"
 #include "stats/telemetry.h"
 #include "stats/trace.h"
 #include "platform/loader.h"
@@ -45,7 +51,10 @@ void usage(const char* program) {
                "usage: %s --platform <file.json> (--workload <file.json> | --swf <trace>)\n"
                "          [--scheduler <name>] [--interval <seconds>] [--no-reconfig-cost]\n"
                "          [--out-dir <dir>] [--trace] [--telemetry]\n"
-               "          [--chrome-trace <file.json>] [--log <level>]\n"
+               "          [--chrome-trace <file.json>] [--journal <file.jsonl>]\n"
+               "          [--log <level>]\n"
+               "   or: %s inspect --job <id> <journal.jsonl>\n"
+               "   or: %s inspect --diff <a.jsonl> <b.jsonl>\n"
                "failures: [--mtbf <duration>] [--failure-dist exponential|weibull]\n"
                "          [--weibull-shape <k>] [--repair <duration>]\n"
                "          [--repair-dist constant|lognormal] [--repair-sigma <s>]\n"
@@ -55,7 +64,7 @@ void usage(const char* program) {
                "          [--failure-policy kill|requeue|requeue-restart]\n"
                "          [--restart-overhead <duration>] [--max-requeues <n>]\n\n"
                "schedulers:",
-               program);
+               program, program, program);
   for (const std::string& name : core::scheduler_names()) {
     std::fprintf(stderr, " %s", name.c_str());
   }
@@ -101,6 +110,10 @@ double duration_flag(const util::Flags& flags, const std::string& name, double f
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   util::set_log_level(util::parse_log_level(flags.get("log", std::string("warn"))));
+
+  if (!flags.positional().empty() && flags.positional().front() == "inspect") {
+    return cli::run_inspect(flags);
+  }
 
   const std::string platform_path = flags.get("platform", std::string());
   const std::string workload_path = flags.get("workload", std::string());
@@ -207,6 +220,12 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+    const std::string journal_path = flags.get("journal", std::string());
+    if (flags.has("journal") && (journal_path.empty() || journal_path == "true")) {
+      std::fprintf(stderr, "error: --journal requires a file path\n");
+      usage(argv[0]);
+      return 2;
+    }
     const bool want_telemetry = flags.get("telemetry", false) || !chrome_path.empty();
     for (const std::string& unknown : flags.unused()) {
       ELSIM_WARN("unknown flag --{} ignored", unknown);
@@ -223,6 +242,8 @@ int main(int argc, char** argv) {
                               result.recorder, config.batch);
       stats::EventTrace trace;
       if (want_trace) batch.set_event_trace(&trace);
+      stats::DecisionJournal journal;
+      if (!journal_path.empty()) batch.set_journal(&journal);
       telemetry::ChromeTraceBuilder chrome;
       if (!chrome_path.empty()) batch.set_chrome_trace(&chrome);
       core::FaultInjector::apply(batch, failures);
@@ -241,6 +262,14 @@ int main(int argc, char** argv) {
         std::filesystem::create_directories(out_dir);
         std::ofstream trace_csv(out_dir + "/trace.csv");
         trace.write_csv(trace_csv);
+      }
+      if (!journal_path.empty()) {
+        const std::filesystem::path parent =
+            std::filesystem::path(journal_path).parent_path();
+        if (!parent.empty()) std::filesystem::create_directories(parent);
+        journal.save(journal_path);
+        std::printf("wrote decision journal (%zu records) to %s\n", journal.size(),
+                    journal_path.c_str());
       }
       if (want_telemetry) {
         auto& registry = telemetry::Registry::global();

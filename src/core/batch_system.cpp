@@ -117,7 +117,7 @@ void BatchSystem::enter_queue(JobId id) {
       case JobState::kKilled:
       case JobState::kCancelled:
         cancel_job(job);
-        invoke_scheduler();
+        invoke_scheduler(stats::JournalCause::kCancel);
         return;
       default: job.outstanding_deps.insert(dep);
     }
@@ -132,7 +132,7 @@ void BatchSystem::enter_queue(JobId id) {
   job.state = JobState::kQueued;
   queue_order_.push_back(id);
   arm_timer();
-  invoke_scheduler();
+  invoke_scheduler(stats::JournalCause::kSubmit);
 }
 
 void BatchSystem::resolve_dependents(JobId id, bool succeeded) {
@@ -284,7 +284,10 @@ void BatchSystem::start_job(JobId id, int nodes) {
   job.nodes = take_free_nodes(nodes);
   running_order_.push_back(id);
   recorder_->on_start(id, engine_->now(), nodes);
-  trace(stats::TraceEvent::kStart, id, util::fmt("{} nodes", nodes));
+  const std::uint64_t start_seq = trace(stats::TraceEvent::kStart, id,
+                                        util::fmt("{} nodes", nodes));
+  journal_verdict(id, stats::VerdictAction::kStarted, stats::HoldReason::kNone, nodes,
+                  start_seq);
   if (telemetry::enabled()) {
     ensure_telemetry();
     jobs_started_->add();
@@ -320,9 +323,17 @@ void BatchSystem::set_target(JobId id, int nodes) {
   assert((job.state == JobState::kRunning || job.state == JobState::kAtBoundary) &&
          "set_target on a job that is not running");
   assert(job.job.can_resize_at_runtime() && "set_target on a non-resizable job");
+  const int current = static_cast<int>(job.nodes.size());
   const int clamped = job.job.clamp_nodes(nodes);
-  job.pending_target =
-      clamped == static_cast<int>(job.nodes.size()) ? -1 : clamped;
+  const int previous_target = job.pending_target;
+  job.pending_target = clamped == current ? -1 : clamped;
+  if (journal_ && clamped != current && clamped != previous_target) {
+    journal_verdict(id,
+                    clamped > current ? stats::VerdictAction::kExpandTarget
+                                      : stats::VerdictAction::kShrinkTarget,
+                    stats::HoldReason::kNone, clamped, 0,
+                    util::fmt("{}->{}", current, clamped));
+  }
   rebuild_views();
 }
 
@@ -351,16 +362,21 @@ void BatchSystem::process_boundary(JobId id) {
       const bool granted =
           scheduler_->on_evolving_request(*this, id, desired - current);
       recorder_->on_evolving_request(id, granted);
-      trace(stats::TraceEvent::kEvolvingRequest, id,
-            util::fmt("{}{} {}", desired - current >= 0 ? "+" : "", desired - current,
-                      granted ? "granted" : "denied"));
+      std::string request = util::fmt("{}{} {}", desired - current >= 0 ? "+" : "",
+                                      desired - current, granted ? "granted" : "denied");
+      const std::uint64_t request_seq =
+          trace(stats::TraceEvent::kEvolvingRequest, id, request);
+      journal_verdict(id,
+                      granted ? stats::VerdictAction::kEvolvingGranted
+                              : stats::VerdictAction::kEvolvingDenied,
+                      stats::HoldReason::kNone, desired, request_seq, std::move(request));
       if (granted) job.pending_target = desired;
     }
     job.boundary_delta = 0;
   }
 
   // Let the scheduler revise targets with this job paused at its boundary.
-  invoke_scheduler();
+  invoke_scheduler(stats::JournalCause::kBoundary);
   if (job.state != JobState::kAtBoundary) return;  // killed by walltime during scheduling
 
   int target = job.pending_target >= 0 ? job.pending_target
@@ -420,7 +436,7 @@ void BatchSystem::apply_resize(Managed& job, int target) {
             ensure_telemetry();
             shrinks_->add();
           }
-          invoke_scheduler();
+          invoke_scheduler(stats::JournalCause::kShrinkComplete);
         });
   }
   rebuild_views();
@@ -442,7 +458,7 @@ void BatchSystem::handle_completion(JobId id) {
   --unfinished_;
   ELSIM_DEBUG("t={} finish job {}", engine_->now(), id);
   resolve_dependents(id, /*succeeded=*/true);
-  invoke_scheduler();
+  invoke_scheduler(stats::JournalCause::kFinish);
 }
 
 void BatchSystem::handle_walltime(JobId id) {
@@ -455,12 +471,15 @@ void BatchSystem::handle_walltime(JobId id) {
   release_all_nodes(job);
   running_order_.erase(std::find(running_order_.begin(), running_order_.end(), id));
   recorder_->on_finish(id, engine_->now(), /*killed=*/true);
-  trace(stats::TraceEvent::kWalltimeKill, id);
+  std::string cause = util::fmt("walltime limit {}s exceeded", job.job.walltime_limit);
+  const std::uint64_t kill_seq = trace(stats::TraceEvent::kWalltimeKill, id, cause);
+  journal_verdict(id, stats::VerdictAction::kKilled, stats::HoldReason::kNone, 0, kill_seq,
+                  std::move(cause));
   if (chrome_) chrome_->instant(util::fmt("job {} walltime kill", id), engine_->now());
   ++killed_;
   --unfinished_;
   resolve_dependents(id, /*succeeded=*/false);
-  invoke_scheduler();
+  invoke_scheduler(stats::JournalCause::kWalltime);
 }
 
 void BatchSystem::return_node(platform::NodeId node) {
@@ -535,18 +554,18 @@ void BatchSystem::fail_node(platform::NodeId node, double repair_time) {
   trace(stats::TraceEvent::kNodeFail, 0, util::fmt("node {}", node));
   if (chrome_) chrome_->instant(util::fmt("node {} failed", node), engine_->now());
   if (free_nodes_.erase(node) > 0) {
-    invoke_scheduler();  // capacity shrank; reservations may change
+    invoke_scheduler(stats::JournalCause::kFailure);  // capacity shrank
     return;
   }
   // Find the victim job (if any — the node may be mid-release).
   for (JobId id : running_order_) {
     Managed& job = managed(id);
     if (std::find(job.nodes.begin(), job.nodes.end(), node) != job.nodes.end()) {
-      evict_job(job);
+      evict_job(job, node);
       break;
     }
   }
-  invoke_scheduler();
+  invoke_scheduler(stats::JournalCause::kFailure);
 }
 
 void BatchSystem::restore_node(platform::NodeId node) {
@@ -562,11 +581,11 @@ void BatchSystem::restore_node(platform::NodeId node) {
   if (drain_on_repair_.erase(node) > 0) {
     drained_nodes_.insert(node);
     ELSIM_INFO("t={} node {} repaired into drain", engine_->now(), node);
-    invoke_scheduler();
+    invoke_scheduler(stats::JournalCause::kRepair);
     return;
   }
   free_nodes_.insert(node);
-  invoke_scheduler();
+  invoke_scheduler(stats::JournalCause::kRepair);
 }
 
 void BatchSystem::drain_node(platform::NodeId node, double when, double until) {
@@ -587,7 +606,7 @@ void BatchSystem::start_drain(platform::NodeId node) {
     drain_pending_.insert(node);
     ELSIM_INFO("t={} node {} drain pending (busy)", engine_->now(), node);
   }
-  invoke_scheduler();
+  invoke_scheduler(stats::JournalCause::kMaintenance);
 }
 
 void BatchSystem::undrain_node(platform::NodeId node) {
@@ -596,22 +615,24 @@ void BatchSystem::undrain_node(platform::NodeId node) {
   if (drained_nodes_.erase(node) == 0) return;
   free_nodes_.insert(node);
   ELSIM_INFO("t={} node {} back in service", engine_->now(), node);
-  invoke_scheduler();
+  invoke_scheduler(stats::JournalCause::kMaintenance);
 }
 
-void BatchSystem::kill_evicted_job(Managed& job, const char* reason) {
+void BatchSystem::kill_evicted_job(Managed& job, const std::string& reason,
+                                   stats::HoldReason journal_reason) {
   const JobId id = job.job.id;
   ELSIM_INFO("t={} job {} killed ({})", engine_->now(), id, reason);
   job.state = JobState::kKilled;
   recorder_->on_finish(id, engine_->now(), /*killed=*/true);
-  trace(stats::TraceEvent::kWalltimeKill, id, reason);
+  const std::uint64_t kill_seq = trace(stats::TraceEvent::kWalltimeKill, id, reason);
+  journal_verdict(id, stats::VerdictAction::kKilled, journal_reason, 0, kill_seq, reason);
   if (chrome_) chrome_->instant(util::fmt("job {} killed: {}", id, reason), engine_->now());
   ++killed_;
   --unfinished_;
   resolve_dependents(id, /*succeeded=*/false);
 }
 
-void BatchSystem::evict_job(Managed& job) {
+void BatchSystem::evict_job(Managed& job, platform::NodeId failed_node) {
   const JobId id = job.job.id;
   assert(job.state == JobState::kRunning || job.state == JobState::kAtBoundary);
   const double now = engine_->now();
@@ -635,13 +656,16 @@ void BatchSystem::evict_job(Managed& job) {
   running_order_.erase(std::find(running_order_.begin(), running_order_.end(), id));
   if (config_.failure_policy == FailurePolicy::kKill) {
     job.execution.reset();
-    kill_evicted_job(job, "node failure");
+    kill_evicted_job(job, util::fmt("node {} failed", failed_node),
+                     stats::HoldReason::kNone);
     return;
   }
   ++job.requeue_count;
   if (config_.max_requeues > 0 && job.requeue_count > config_.max_requeues) {
     job.execution.reset();
-    kill_evicted_job(job, "max requeues exceeded");
+    kill_evicted_job(job,
+                     util::fmt("max requeues exceeded (node {} failed)", failed_node),
+                     stats::HoldReason::kMaxRequeuesReached);
     return;
   }
   ELSIM_INFO("t={} job {} requeued after node failure ({} node-seconds lost)", now, id,
@@ -650,12 +674,15 @@ void BatchSystem::evict_job(Managed& job) {
   job.execution.reset();
   job.start_time = -1.0;
   recorder_->on_requeue(id, now, lost_node_seconds, lost_seconds);
-  trace(stats::TraceEvent::kRequeue, id,
-        util::fmt("lost {} node-seconds{}", lost_node_seconds,
-                  restartable && !job.checkpoint.at_origin()
-                      ? util::fmt(", checkpoint phase {} iter {}", job.checkpoint.phase,
-                                  job.checkpoint.iteration)
-                      : std::string()));
+  std::string cause =
+      util::fmt("node {} failed, lost {} node-seconds{}", failed_node, lost_node_seconds,
+                restartable && !job.checkpoint.at_origin()
+                    ? util::fmt(", checkpoint phase {} iter {}", job.checkpoint.phase,
+                                job.checkpoint.iteration)
+                    : std::string());
+  const std::uint64_t requeue_seq = trace(stats::TraceEvent::kRequeue, id, cause);
+  journal_verdict(id, stats::VerdictAction::kRequeued, stats::HoldReason::kNone, 0,
+                  requeue_seq, std::move(cause));
   if (chrome_) chrome_->instant(util::fmt("job {} requeued", id), now);
   if (telemetry::enabled()) {
     ensure_telemetry();
@@ -670,7 +697,7 @@ void BatchSystem::evict_job(Managed& job) {
 // Scheduler invocation
 // ---------------------------------------------------------------------------
 
-void BatchSystem::invoke_scheduler() {
+void BatchSystem::invoke_scheduler(stats::JournalCause cause) {
   if (in_scheduler_) {
     rerun_scheduler_ = true;
     return;
@@ -683,6 +710,10 @@ void BatchSystem::invoke_scheduler() {
     queue_gauge_->set(engine_->now(), static_cast<double>(queue_order_.size()));
     wall_begin = telemetry::wall_now();
   }
+  if (journal_) {
+    journal_->begin(engine_->now(), cause, static_cast<int>(queue_order_.size()),
+                    static_cast<int>(running_order_.size()), free_nodes(), total_nodes());
+  }
   int rounds = 0;
   do {
     rerun_scheduler_ = false;
@@ -694,6 +725,17 @@ void BatchSystem::invoke_scheduler() {
       break;
     }
   } while (rerun_scheduler_);
+  if (journal_) {
+    // Guarantee a verdict for every job left in the queue: schedulers that
+    // never call explain() (custom policies) still yield a non-empty reason.
+    for (JobId id : queue_order_) {
+      if (!journal_->has_held_verdict(id)) {
+        journal_->add({id, stats::VerdictAction::kHeld, stats::HoldReason::kNotConsidered,
+                       0, 0, std::string()});
+      }
+    }
+    journal_->commit();
+  }
   if (telemetry_on) {
     decision_hist_->record(telemetry::wall_now() - wall_begin);
     invocations_->add();
@@ -724,8 +766,22 @@ void BatchSystem::rebuild_views() {
   }
 }
 
-void BatchSystem::trace(stats::TraceEvent event, workload::JobId job, std::string detail) {
-  if (trace_) trace_->record(engine_->now(), event, job, std::move(detail));
+std::uint64_t BatchSystem::trace(stats::TraceEvent event, workload::JobId job,
+                                 std::string detail) {
+  if (!trace_) return 0;
+  return trace_->record(engine_->now(), event, job, std::move(detail));
+}
+
+void BatchSystem::journal_verdict(workload::JobId job, stats::VerdictAction action,
+                                  stats::HoldReason reason, int nodes,
+                                  std::uint64_t trace_seq, std::string detail) {
+  if (!journal_) return;
+  journal_->add({job, action, reason, nodes, trace_seq, std::move(detail)});
+}
+
+void BatchSystem::explain(workload::JobId id, stats::HoldReason reason, std::string detail) {
+  if (!journal_) return;
+  journal_->add({id, stats::VerdictAction::kHeld, reason, 0, 0, std::move(detail)});
 }
 
 void BatchSystem::ensure_telemetry() {
@@ -770,7 +826,7 @@ void BatchSystem::arm_timer() {
   engine_->schedule_in(config_.scheduling_interval, [this] {
     timer_armed_ = false;
     if (unfinished_ == 0) return;  // let the simulation drain
-    invoke_scheduler();
+    invoke_scheduler(stats::JournalCause::kTimer);
     arm_timer();
   });
 }

@@ -30,6 +30,7 @@
 #include "core/scheduler.h"
 #include "platform/cluster.h"
 #include "sim/engine.h"
+#include "stats/journal.h"
 #include "stats/metrics.h"
 #include "stats/trace.h"
 #include "workload/job.h"
@@ -107,6 +108,12 @@ class BatchSystem final : public SchedulerContext {
   /// Pass nullptr to detach.
   void set_event_trace(stats::EventTrace* trace) { trace_ = trace; }
 
+  /// Attaches a decision journal (not owned; must outlive the batch system):
+  /// every scheduler invocation commits one record with its cause, a
+  /// queue/cluster snapshot, and a verdict per considered job. Pass nullptr
+  /// to detach; absent, instrumentation costs one branch per site.
+  void set_journal(stats::DecisionJournal* journal) { journal_ = journal; }
+
   /// Attaches a Chrome trace builder (not owned; must outlive the batch
   /// system): job lifecycles are rendered as per-node slices, plus counter
   /// tracks and instant markers. Pass nullptr to detach.
@@ -154,6 +161,9 @@ class BatchSystem final : public SchedulerContext {
   double user_usage(const std::string& user) const override;
   void start_job(workload::JobId id, int nodes) override;
   void set_target(workload::JobId id, int nodes) override;
+  bool explaining() const override { return journal_ != nullptr; }
+  void explain(workload::JobId id, stats::HoldReason reason,
+               std::string detail = std::string()) override;
 
  private:
   enum class JobState {
@@ -197,13 +207,17 @@ class BatchSystem final : public SchedulerContext {
   void fail_node(platform::NodeId node, double repair_time);
   void restore_node(platform::NodeId node);
   /// Terminal kill shared by the kKill policy and the max_requeues guard.
-  void kill_evicted_job(Managed& job, const char* reason);
+  void kill_evicted_job(Managed& job, const std::string& reason,
+                        stats::HoldReason journal_reason);
   void start_drain(platform::NodeId node);
   void undrain_node(platform::NodeId node);
   /// Returns a node to service after a job releases it, honoring failure
   /// and drain state.
   void return_node(platform::NodeId node);
-  void evict_job(Managed& job);
+  /// Evicts the victim of `failed_node`'s failure (requeue or kill per the
+  /// failure policy); the node id is threaded into the trace and journal so
+  /// the requeue cause is attributable.
+  void evict_job(Managed& job, platform::NodeId failed_node);
   void handle_boundary(workload::JobId id, int evolving_delta);
   void process_boundary(workload::JobId id);
   void apply_resize(Managed& job, int target);
@@ -212,10 +226,18 @@ class BatchSystem final : public SchedulerContext {
   void release_all_nodes(Managed& job);
   std::vector<platform::NodeId> take_free_nodes(int count);
 
-  void invoke_scheduler();
+  /// Runs the scheduler to quiescence; `cause` is what triggered the
+  /// scheduling point (recorded as the journal record's cause).
+  void invoke_scheduler(stats::JournalCause cause);
   void rebuild_views();
   void arm_timer();
-  void trace(stats::TraceEvent event, workload::JobId job, std::string detail = "");
+  /// Records into the event trace, returning the entry's sequence number so
+  /// journal verdicts can link to it (0 when no trace is attached).
+  std::uint64_t trace(stats::TraceEvent event, workload::JobId job, std::string detail = "");
+  /// Appends a journal verdict when a journal is attached.
+  void journal_verdict(workload::JobId job, stats::VerdictAction action,
+                       stats::HoldReason reason, int nodes, std::uint64_t trace_seq,
+                       std::string detail = "");
   /// Caches global-registry handles (first call with telemetry enabled).
   void ensure_telemetry();
   /// Opens Chrome-trace slices for `job` on `nodes`.
@@ -228,6 +250,7 @@ class BatchSystem final : public SchedulerContext {
   std::unique_ptr<Scheduler> scheduler_;
   stats::Recorder* recorder_;
   stats::EventTrace* trace_ = nullptr;
+  stats::DecisionJournal* journal_ = nullptr;
   telemetry::ChromeTraceBuilder* chrome_ = nullptr;
   BatchConfig config_;
 

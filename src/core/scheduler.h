@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/journal.h"
 #include "workload/job.h"
 
 namespace elastisim::core {
@@ -68,6 +69,24 @@ class SchedulerContext {
   /// Sets the desired size of a running malleable/evolving job. Clamped to
   /// the job's range. Passing its current size clears any pending target.
   virtual void set_target(workload::JobId id, int nodes) = 0;
+
+  /// True when a decision journal is attached and held jobs should be
+  /// explained. Schedulers test this once per pass and skip building
+  /// explanations entirely otherwise, so a run without a journal pays one
+  /// virtual call per pass.
+  virtual bool explaining() const { return false; }
+
+  /// Records why queued job `id` cannot start at this scheduling point
+  /// (journal verdict "held" with a machine-readable reason code). Within one
+  /// scheduling point a later explain() for the same job replaces the earlier
+  /// one — refining passes win — and starting the job erases it. No-op when
+  /// no journal is attached.
+  virtual void explain(workload::JobId id, stats::HoldReason reason,
+                       std::string detail = std::string()) {
+    (void)id;
+    (void)reason;
+    (void)detail;
+  }
 };
 
 class Scheduler {

@@ -97,6 +97,14 @@ void ranked_backfill(SchedulerContext& ctx, const RankFn& rank);
 /// at their requested size.
 int feasible_start_size(const workload::Job& job, int free);
 
+/// Smallest node count `job` could possibly start at (requested for rigid,
+/// min_nodes otherwise) — the figure held-job explanations quote.
+int minimum_start_size(const workload::Job& job);
+
+/// Journals an insufficient_nodes verdict for the queue head (no-op unless
+/// ctx.explaining() and the queue is non-empty).
+void explain_blocked_head(SchedulerContext& ctx);
+
 /// Starts queued jobs in FCFS order until the head no longer fits.
 void fcfs_start(SchedulerContext& ctx);
 

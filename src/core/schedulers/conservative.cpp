@@ -6,6 +6,7 @@
 
 #include "core/schedulers.h"
 #include "stats/telemetry.h"
+#include "util/fmt.h"
 
 namespace elastisim::core {
 
@@ -103,6 +104,18 @@ void ConservativeBackfillScheduler::schedule(SchedulerContext& ctx) {
         ctx.start_job(job.id, size);
         started = true;  // profile is stale; rebuild
         break;
+      }
+      if (ctx.explaining()) {
+        if (size > ctx.free_nodes()) {
+          ctx.explain(job.id, stats::HoldReason::kInsufficientNodes,
+                      util::fmt("needs {} nodes, {} free", size, ctx.free_nodes()));
+        } else {
+          // Enough nodes are idle right now, but no hole in the reservation
+          // profile fits the job's walltime before earlier reservations land.
+          ctx.explain(job.id, stats::HoldReason::kWalltimeExceedsHole,
+                      util::fmt("walltime {}s only fits at t={}", job.walltime_limit,
+                                begin));
+        }
       }
       profile.reserve(begin, duration, size);
       is_head = false;

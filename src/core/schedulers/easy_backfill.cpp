@@ -5,6 +5,7 @@
 
 #include "core/schedulers.h"
 #include "stats/telemetry.h"
+#include "util/fmt.h"
 
 namespace elastisim::core {
 
@@ -58,10 +59,18 @@ bool easy_backfill_round(SchedulerContext& ctx) {
   const int head_size = std::min(head.job->requested_nodes, ctx.total_nodes());
   const Reservation reservation = head_reservation(ctx, head_size);
 
+  const bool explaining = ctx.explaining();
   for (std::size_t i = 1; i < ctx.queue().size(); ++i) {
     const QueuedJob& candidate = ctx.queue()[i];
     const int size = feasible_start_size(*candidate.job, ctx.free_nodes());
-    if (size < 0) continue;
+    if (size < 0) {
+      if (explaining) {
+        ctx.explain(candidate.job->id, stats::HoldReason::kInsufficientNodes,
+                    util::fmt("needs {} nodes, {} free", minimum_start_size(*candidate.job),
+                              ctx.free_nodes()));
+      }
+      continue;
+    }
     const double completion = ctx.now() + candidate.job->walltime_limit;
     const bool fits_before_shadow = completion <= reservation.shadow_time;
     const bool fits_in_spare = size <= reservation.spare_nodes;
@@ -71,6 +80,21 @@ bool easy_backfill_round(SchedulerContext& ctx) {
       }
       ctx.start_job(candidate.job->id, size);
       return true;  // views changed; caller restarts the scan
+    }
+    if (explaining) {
+      // Both backfill routes failed: a finite walltime means the window
+      // before the head's shadow time was the binding constraint; an
+      // unbounded one can only ever ride the spare nodes.
+      if (std::isfinite(candidate.job->walltime_limit)) {
+        ctx.explain(candidate.job->id, stats::HoldReason::kBackfillWindowTooSmall,
+                    util::fmt("walltime {}s runs past shadow t={}, {} spare nodes",
+                              candidate.job->walltime_limit, reservation.shadow_time,
+                              reservation.spare_nodes));
+      } else {
+        ctx.explain(candidate.job->id, stats::HoldReason::kBlockedByReservation,
+                    util::fmt("would delay head job {} reserved at t={}",
+                              head.job->id, reservation.shadow_time));
+      }
     }
   }
   return false;

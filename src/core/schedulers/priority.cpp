@@ -1,8 +1,10 @@
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <vector>
 
 #include "core/schedulers.h"
+#include "util/fmt.h"
 
 namespace elastisim::core {
 
@@ -69,16 +71,41 @@ void ranked_backfill(SchedulerContext& ctx, const RankFn& rank) {
       }
     }
 
+    const bool explaining = ctx.explaining();
+    if (explaining) {
+      ctx.explain(head.id, stats::HoldReason::kInsufficientNodes,
+                  util::fmt("needs {} nodes, {} free", minimum_start_size(head),
+                            ctx.free_nodes()));
+    }
+
     // Backfill lower-ranked jobs around the reservation.
     for (std::size_t i = blocked + 1; i < ranked.size(); ++i) {
       const workload::Job& candidate = *ranked[i].job;
       const int size = feasible_start_size(candidate, ctx.free_nodes());
-      if (size < 0) continue;
+      if (size < 0) {
+        if (explaining) {
+          ctx.explain(candidate.id, stats::HoldReason::kInsufficientNodes,
+                      util::fmt("needs {} nodes, {} free", minimum_start_size(candidate),
+                                ctx.free_nodes()));
+        }
+        continue;
+      }
       const bool before_shadow = ctx.now() + candidate.walltime_limit <= shadow;
       if (before_shadow || size <= spare) {
         ctx.start_job(candidate.id, size);
         progressed = true;
         break;  // views changed; restart the round
+      }
+      if (explaining) {
+        if (std::isfinite(candidate.walltime_limit)) {
+          ctx.explain(candidate.id, stats::HoldReason::kBackfillWindowTooSmall,
+                      util::fmt("walltime {}s runs past shadow t={}, {} spare nodes",
+                                candidate.walltime_limit, shadow, spare));
+        } else {
+          ctx.explain(candidate.id, stats::HoldReason::kBlockedByReservation,
+                      util::fmt("would delay leader job {} reserved at t={}", head.id,
+                                shadow));
+        }
       }
     }
   }

@@ -18,6 +18,8 @@ SimulationResult run_simulation(const SimulationConfig& config,
   sim::Engine engine;
   platform::Cluster cluster(engine, config.platform);
   BatchSystem batch(engine, cluster, std::move(scheduler), result.recorder, config.batch);
+  if (config.trace) batch.set_event_trace(config.trace);
+  if (config.journal) batch.set_journal(config.journal);
 
   result.submitted = batch.submit_all(std::move(jobs));
 

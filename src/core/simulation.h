@@ -19,6 +19,10 @@ struct SimulationConfig {
   BatchConfig batch;
   /// A make_scheduler() name.
   std::string scheduler = "fcfs";
+  /// Optional sinks attached to the batch system for the run (not owned;
+  /// must outlive run_simulation). Both default off.
+  stats::EventTrace* trace = nullptr;
+  stats::DecisionJournal* journal = nullptr;
 };
 
 struct SimulationResult {

@@ -23,9 +23,11 @@ std::string to_string(TraceEvent event) {
   return "?";
 }
 
-void EventTrace::record(double time, TraceEvent event, workload::JobId job,
-                        std::string detail) {
-  entries_.push_back(TraceEntry{time, event, job, std::move(detail)});
+std::uint64_t EventTrace::record(double time, TraceEvent event, workload::JobId job,
+                                 std::string detail) {
+  const std::uint64_t seq = next_seq_++;
+  entries_.push_back(TraceEntry{seq, time, event, job, std::move(detail)});
+  return seq;
 }
 
 std::vector<TraceEntry> EventTrace::filtered(TraceEvent event) const {
@@ -38,9 +40,9 @@ std::vector<TraceEntry> EventTrace::filtered(TraceEvent event) const {
 
 void EventTrace::write_csv(std::ostream& out) const {
   util::CsvWriter csv(out);
-  csv.typed_row("time", "event", "job", "detail");
+  csv.typed_row("seq", "time", "event", "job", "detail");
   for (const TraceEntry& entry : entries_) {
-    csv.typed_row(entry.time, to_string(entry.event), entry.job, entry.detail);
+    csv.typed_row(entry.seq, entry.time, to_string(entry.event), entry.job, entry.detail);
   }
 }
 

@@ -33,18 +33,24 @@ enum class TraceEvent {
 std::string to_string(TraceEvent event);
 
 struct TraceEntry {
+  /// Monotonic 1-based sequence number: the stable tie-break for
+  /// same-timestamp entries, so trace diffs are deterministic, and the key
+  /// decision-journal verdicts link to.
+  std::uint64_t seq;
   double time;
   TraceEvent event;
   /// Job the event concerns; 0 for node-level events.
   workload::JobId job;
   /// Event-specific detail: node counts ("16->32"), request deltas ("+8
-  /// granted"), or node ids.
+  /// granted"), or requeue/kill causes ("node 3 failed, ...").
   std::string detail;
 };
 
 class EventTrace {
  public:
-  void record(double time, TraceEvent event, workload::JobId job, std::string detail = "");
+  /// Appends an entry and returns its sequence number.
+  std::uint64_t record(double time, TraceEvent event, workload::JobId job,
+                       std::string detail = "");
 
   const std::vector<TraceEntry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
@@ -53,11 +59,12 @@ class EventTrace {
   /// Entries of one kind, in order.
   std::vector<TraceEntry> filtered(TraceEvent event) const;
 
-  /// "time,event,job,detail" rows.
+  /// "seq,time,event,job,detail" rows.
   void write_csv(std::ostream& out) const;
 
  private:
   std::vector<TraceEntry> entries_;
+  std::uint64_t next_seq_ = 1;
 };
 
 }  // namespace elastisim::stats

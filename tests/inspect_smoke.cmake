@@ -1,0 +1,79 @@
+# End-to-end decision-journal smoke test, run as a CTest script:
+#   cmake -DELASTISIM=<binary> -DPLATFORM=<json> -DWORKLOAD=<json>
+#         -DOUT_DIR=<dir> -P inspect_smoke.cmake
+# Runs the simulator twice with --journal, validates the JSONL records, and
+# exercises both `elastisim inspect` modes: --job must print a timeline for a
+# job the workload contains, and --diff across the two identical runs must
+# report no divergence (the determinism property docs/OBSERVABILITY.md
+# documents).
+cmake_minimum_required(VERSION 3.19)  # string(JSON ...)
+
+foreach(var ELASTISIM PLATFORM WORKLOAD OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "inspect_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+set(journal_a "${OUT_DIR}/run_a.journal.jsonl")
+set(journal_b "${OUT_DIR}/run_b.journal.jsonl")
+foreach(journal IN ITEMS ${journal_a} ${journal_b})
+  execute_process(
+    COMMAND ${ELASTISIM} --platform ${PLATFORM} --workload ${WORKLOAD}
+            --out-dir ${OUT_DIR} --trace --journal ${journal}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE stdout_text
+    ERROR_VARIABLE stderr_text)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR "inspect_smoke: simulator exited ${exit_code}\n"
+                        "${stdout_text}\n${stderr_text}")
+  endif()
+endforeach()
+
+# --- journal JSONL ----------------------------------------------------------
+file(STRINGS "${journal_a}" journal_lines)
+list(LENGTH journal_lines record_count)
+if(record_count LESS_EQUAL 0)
+  message(FATAL_ERROR "inspect_smoke: ${journal_a} is empty")
+endif()
+list(GET journal_lines 0 first_record)
+foreach(member seq t cause queued running free total verdicts)
+  string(JSON ignored ERROR_VARIABLE parse_error GET "${first_record}" ${member})
+  if(parse_error)
+    message(FATAL_ERROR "inspect_smoke: journal record lacks '${member}': ${parse_error}")
+  endif()
+endforeach()
+string(JSON first_seq GET "${first_record}" seq)
+if(NOT first_seq EQUAL 1)
+  message(FATAL_ERROR "inspect_smoke: first record seq is ${first_seq}, expected 1")
+endif()
+
+# --- inspect --job ----------------------------------------------------------
+execute_process(
+  COMMAND ${ELASTISIM} inspect --job 1 ${journal_a}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE timeline_text
+  ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "inspect_smoke: inspect --job exited ${exit_code}\n${stderr_text}")
+endif()
+if(NOT timeline_text MATCHES "job 1 decision timeline")
+  message(FATAL_ERROR "inspect_smoke: no timeline for job 1:\n${timeline_text}")
+endif()
+if(NOT timeline_text MATCHES "started")
+  message(FATAL_ERROR "inspect_smoke: job 1 timeline has no start verdict:\n${timeline_text}")
+endif()
+
+# --- inspect --diff ---------------------------------------------------------
+execute_process(
+  COMMAND ${ELASTISIM} inspect --diff ${journal_a} ${journal_b}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE diff_text
+  ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "inspect_smoke: inspect --diff exited ${exit_code}\n${stderr_text}")
+endif()
+if(NOT diff_text MATCHES "journals identical")
+  message(FATAL_ERROR "inspect_smoke: same-seed runs diverged:\n${diff_text}")
+endif()
+
+message(STATUS "inspect_smoke: ok (${record_count} journal records)")

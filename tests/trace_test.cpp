@@ -23,12 +23,17 @@ using workload::JobType;
 
 TEST(EventTrace, RecordsInOrder) {
   EventTrace trace;
-  trace.record(1.0, TraceEvent::kSubmit, 1);
-  trace.record(2.0, TraceEvent::kStart, 1, "4 nodes");
-  trace.record(5.0, TraceEvent::kFinish, 1);
+  EXPECT_EQ(trace.record(1.0, TraceEvent::kSubmit, 1), 1u);
+  EXPECT_EQ(trace.record(2.0, TraceEvent::kStart, 1, "4 nodes"), 2u);
+  EXPECT_EQ(trace.record(5.0, TraceEvent::kFinish, 1), 3u);
   ASSERT_EQ(trace.size(), 3u);
   EXPECT_EQ(trace.entries()[1].event, TraceEvent::kStart);
   EXPECT_EQ(trace.entries()[1].detail, "4 nodes");
+  // Sequence numbers are 1-based and monotonic — the stable tie-break for
+  // same-timestamp events and the key journal verdicts link to.
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace.entries()[i].seq, i + 1);
+  }
 }
 
 TEST(EventTrace, FilteredSelectsKind) {
@@ -51,9 +56,10 @@ TEST(EventTrace, CsvHasHeaderAndRows) {
   ASSERT_TRUE(std::getline(in, header));
   ASSERT_TRUE(std::getline(in, row));
   const auto fields = util::split_csv_line(row);
-  ASSERT_EQ(fields.size(), 4u);
-  EXPECT_EQ(fields[1], "node-fail");
-  EXPECT_EQ(fields[3], "node 3");
+  ASSERT_EQ(fields.size(), 5u);
+  EXPECT_EQ(fields[0], "1");
+  EXPECT_EQ(fields[2], "node-fail");
+  EXPECT_EQ(fields[4], "node 3");
 }
 
 TEST(EventTrace, CsvEscapesCommasAndQuotes) {
@@ -71,11 +77,11 @@ TEST(EventTrace, CsvEscapesCommasAndQuotes) {
   EXPECT_NE(first.find("\"nodes 1,2,3\""), std::string::npos);
   // ...and round-trips through the reader unchanged.
   const auto fields_first = util::split_csv_line(first);
-  ASSERT_EQ(fields_first.size(), 4u);
-  EXPECT_EQ(fields_first[3], "nodes 1,2,3");
+  ASSERT_EQ(fields_first.size(), 5u);
+  EXPECT_EQ(fields_first[4], "nodes 1,2,3");
   const auto fields_second = util::split_csv_line(second);
-  ASSERT_EQ(fields_second.size(), 4u);
-  EXPECT_EQ(fields_second[3], "status \"ok\", clean");
+  ASSERT_EQ(fields_second.size(), 5u);
+  EXPECT_EQ(fields_second[4], "status \"ok\", clean");
 }
 
 TEST(EventTrace, FilteredOnEmptyTraceIsEmpty) {
