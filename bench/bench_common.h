@@ -15,6 +15,7 @@
 #include "json/json.h"
 #include "platform/cluster.h"
 #include "stats/journal.h"
+#include "stats/state_sampler.h"
 #include "stats/telemetry.h"
 #include "workload/generator.h"
 
@@ -70,6 +71,19 @@ inline const std::string& journal_dir() {
   return dir;
 }
 
+/// Directory from ELSIM_BENCH_TIMESERIES ("1" = working directory), empty
+/// when unset — the opt-in switch for per-run state timelines
+/// (<dir>/<scheduler>.<n>.timeseries.csv, the format behind
+/// `elastisim report`).
+inline const std::string& timeseries_dir() {
+  static const std::string dir = [] {
+    const char* raw = std::getenv("ELSIM_BENCH_TIMESERIES");
+    if (!raw || !*raw) return std::string();
+    return std::string(raw) == "1" ? std::string(".") : std::string(raw);
+  }();
+  return dir;
+}
+
 inline core::SimulationResult run(const platform::ClusterConfig& platform,
                                   const std::string& scheduler,
                                   std::vector<workload::Job> jobs,
@@ -80,8 +94,24 @@ inline core::SimulationResult run(const platform::ClusterConfig& platform,
   config.batch = batch;
   stats::DecisionJournal journal;
   if (!journal_dir().empty()) config.journal = &journal;
+  stats::StateSampler sampler;
+  if (!timeseries_dir().empty()) config.sampler = &sampler;
   const double wall_begin = telemetry::enabled() ? telemetry::wall_now() : 0.0;
   core::SimulationResult result = core::run_simulation(config, std::move(jobs));
+  if (config.sampler) {
+    // Numbered like the journals: <dir>/<scheduler>.<n>.timeseries.csv.
+    static int sample_index = 0;
+    const std::string path = timeseries_dir() + "/" + scheduler + "." +
+                             std::to_string(sample_index++) + ".timeseries.csv";
+    try {
+      std::filesystem::create_directories(timeseries_dir());
+      sampler.save(path);
+      std::fprintf(stderr, "timeseries: wrote %s (%zu samples)\n", path.c_str(),
+                   sampler.samples().size());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "timeseries: write failed: %s\n", error.what());
+    }
+  }
   if (config.journal) {
     // One journal per bench::run(), numbered in call order:
     //   <dir>/<scheduler>.<n>.journal.jsonl

@@ -23,9 +23,11 @@ int print_timeline(const std::string& path, workload::JobId job) {
   const std::vector<stats::JournalRecord> records = stats::DecisionJournal::load(path);
   const std::vector<std::string> lines = stats::job_timeline(records, job);
   if (lines.empty()) {
-    std::printf("no decisions recorded for job %lld in %s (%zu records)\n",
-                static_cast<long long>(job), path.c_str(), records.size());
-    return 0;
+    // Distinct exit code (3) so scripts can tell "job absent from journal"
+    // apart from runtime errors (1) and usage errors (2).
+    std::fprintf(stderr, "no decisions recorded for job %lld in %s (%zu records)\n",
+                 static_cast<long long>(job), path.c_str(), records.size());
+    return 3;
   }
   std::printf("job %lld decision timeline (%s, %zu records):\n",
               static_cast<long long>(job), path.c_str(), records.size());

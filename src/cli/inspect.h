@@ -12,7 +12,8 @@ class Flags;
 namespace elastisim::cli {
 
 /// Returns the process exit code: 0 on success (including a reported
-/// divergence), 1 on unreadable/malformed input, 2 on bad usage.
+/// divergence), 1 on unreadable/malformed input, 2 on bad usage, 3 when the
+/// journal loads fine but holds no decisions for the requested --job.
 int run_inspect(const util::Flags& flags);
 
 }  // namespace elastisim::cli

@@ -12,13 +12,17 @@
 //   <out-dir>/timeline.csv    allocated-node step function,
 //   <out-dir>/summary.json    headline metrics,
 //   <out-dir>/telemetry.json  counters/gauges/histograms (with --telemetry),
-// printing the summary to stdout as well. --chrome-trace <file> additionally
-// writes a Chrome trace_event JSON viewable in Perfetto, and --journal <file>
-// a JSONL decision journal explaining every scheduling verdict (see
-// docs/OBSERVABILITY.md). The journal feeds the offline subcommand
+// printing the summary to stdout as well. --timeseries additionally writes
+// <out-dir>/timeseries.csv, a simulation-state timeline sampled at every
+// scheduling point (plus a fixed cadence with --sample-interval, which
+// implies --timeseries). --chrome-trace <file> writes a Chrome trace_event
+// JSON viewable in Perfetto, and --journal <file> a JSONL decision journal
+// explaining every scheduling verdict (see docs/OBSERVABILITY.md). The
+// artifacts feed the offline subcommands
 //
 //   elastisim inspect --job <id> <journal>    why a job waited
 //   elastisim inspect --diff <a> <b>          first divergent decision
+//   elastisim report <out-dir>                self-contained report.html
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -28,11 +32,13 @@
 #include <optional>
 
 #include "cli/inspect.h"
+#include "cli/report.h"
 #include "core/fault_injector.h"
 #include "core/simulation.h"
 #include "json/json.h"
 #include "stats/chrome_trace.h"
 #include "stats/journal.h"
+#include "stats/state_sampler.h"
 #include "stats/telemetry.h"
 #include "stats/trace.h"
 #include "platform/loader.h"
@@ -51,10 +57,12 @@ void usage(const char* program) {
                "usage: %s --platform <file.json> (--workload <file.json> | --swf <trace>)\n"
                "          [--scheduler <name>] [--interval <seconds>] [--no-reconfig-cost]\n"
                "          [--out-dir <dir>] [--trace] [--telemetry]\n"
+               "          [--timeseries] [--sample-interval <seconds>]\n"
                "          [--chrome-trace <file.json>] [--journal <file.jsonl>]\n"
                "          [--log <level>]\n"
                "   or: %s inspect --job <id> <journal.jsonl>\n"
                "   or: %s inspect --diff <a.jsonl> <b.jsonl>\n"
+               "   or: %s report <out-dir> [--out <report.html>]\n"
                "failures: [--mtbf <duration>] [--failure-dist exponential|weibull]\n"
                "          [--weibull-shape <k>] [--repair <duration>]\n"
                "          [--repair-dist constant|lognormal] [--repair-sigma <s>]\n"
@@ -64,7 +72,7 @@ void usage(const char* program) {
                "          [--failure-policy kill|requeue|requeue-restart]\n"
                "          [--restart-overhead <duration>] [--max-requeues <n>]\n\n"
                "schedulers:",
-               program, program, program);
+               program, program, program, program);
   for (const std::string& name : core::scheduler_names()) {
     std::fprintf(stderr, " %s", name.c_str());
   }
@@ -113,6 +121,9 @@ int main(int argc, char** argv) {
 
   if (!flags.positional().empty() && flags.positional().front() == "inspect") {
     return cli::run_inspect(flags);
+  }
+  if (!flags.positional().empty() && flags.positional().front() == "report") {
+    return cli::run_report(flags);
   }
 
   const std::string platform_path = flags.get("platform", std::string());
@@ -226,6 +237,10 @@ int main(int argc, char** argv) {
       usage(argv[0]);
       return 2;
     }
+    const double sample_interval = duration_flag(flags, "sample-interval", 0.0);
+    // --sample-interval without --timeseries still means "I want the
+    // timeline"; a bare --timeseries samples at scheduling points only.
+    const bool want_timeseries = flags.get("timeseries", false) || sample_interval > 0.0;
     const bool want_telemetry = flags.get("telemetry", false) || !chrome_path.empty();
     for (const std::string& unknown : flags.unused()) {
       ELSIM_WARN("unknown flag --{} ignored", unknown);
@@ -235,6 +250,7 @@ int main(int argc, char** argv) {
     // Wire the pieces by hand (instead of run_simulation) so the optional
     // event trace and telemetry sinks can be attached.
     core::SimulationResult result;
+    std::vector<workload::JobId> stuck_ids;
     {
       sim::Engine engine;
       platform::Cluster cluster(engine, config.platform);
@@ -244,6 +260,8 @@ int main(int argc, char** argv) {
       if (want_trace) batch.set_event_trace(&trace);
       stats::DecisionJournal journal;
       if (!journal_path.empty()) batch.set_journal(&journal);
+      stats::StateSampler sampler(sample_interval);
+      if (want_timeseries) batch.set_state_sampler(&sampler);
       telemetry::ChromeTraceBuilder chrome;
       if (!chrome_path.empty()) batch.set_chrome_trace(&chrome);
       core::FaultInjector::apply(batch, failures);
@@ -258,10 +276,18 @@ int main(int argc, char** argv) {
       result.stuck = batch.queued_jobs() + batch.running_jobs();
       result.makespan = result.recorder.makespan();
       result.events_processed = engine.events_processed();
+      if (result.stuck > 0) stuck_ids = batch.unfinished_job_ids();
       if (want_trace) {
         std::filesystem::create_directories(out_dir);
         std::ofstream trace_csv(out_dir + "/trace.csv");
         trace.write_csv(trace_csv);
+      }
+      if (want_timeseries) {
+        std::filesystem::create_directories(out_dir);
+        sampler.save(out_dir + "/timeseries.csv");
+        std::printf("wrote state timeline (%zu samples, %llu updates) to %s/timeseries.csv\n",
+                    sampler.samples().size(),
+                    static_cast<unsigned long long>(sampler.updates()), out_dir.c_str());
       }
       if (!journal_path.empty()) {
         const std::filesystem::path parent =
@@ -312,8 +338,19 @@ int main(int argc, char** argv) {
                 out_dir.c_str(), out_dir.c_str(),
                 want_telemetry ? ", telemetry.json" : "");
     if (result.stuck > 0) {
-      std::fprintf(stderr, "warning: %zu jobs never completed (check job sizes vs platform)\n",
-                   result.stuck);
+      // Name the offenders (first few) so the user can go straight to
+      // `elastisim inspect --job` instead of bisecting the workload.
+      std::string ids;
+      const std::size_t shown = std::min<std::size_t>(stuck_ids.size(), 5);
+      for (std::size_t i = 0; i < shown; ++i) {
+        if (!ids.empty()) ids += ", ";
+        ids += std::to_string(static_cast<long long>(stuck_ids[i]));
+      }
+      if (stuck_ids.size() > shown) ids += ", ...";
+      std::fprintf(stderr,
+                   "warning: %zu jobs never completed (check job sizes vs platform): "
+                   "job ids %s\n",
+                   result.stuck, ids.c_str());
       return 1;
     }
     return 0;

@@ -1,0 +1,62 @@
+#include "cli/report.h"
+
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "stats/run_report.h"
+#include "util/flags.h"
+
+namespace elastisim::cli {
+
+namespace {
+
+void report_usage(const std::string& program) {
+  std::fprintf(stderr,
+               "usage: %s report <out-dir> [--out <report.html>]\n"
+               "       [--journal <journal.jsonl>] [--failure-trace <file.json>]\n"
+               "renders <out-dir>/report.html from jobs.csv, timeseries.csv,\n"
+               "summary.json, trace.csv, and the decision journal when present\n",
+               program.c_str());
+}
+
+}  // namespace
+
+int run_report(const util::Flags& flags) {
+  // positional()[0] is the "report" subcommand word itself.
+  const std::vector<std::string>& positional = flags.positional();
+  if (positional.size() < 2) {
+    report_usage(flags.program());
+    return 2;
+  }
+  stats::ReportInputs inputs;
+  inputs.dir = positional[1];
+  inputs.journal_path = flags.get("journal", std::string());
+  inputs.failure_trace_path = flags.get("failure-trace", std::string());
+  // A bare "--out" parses as the boolean value "true"; demand a real path.
+  std::string html_path = flags.get("out", std::string());
+  if (flags.has("out") && (html_path.empty() || html_path == "true")) {
+    report_usage(flags.program());
+    return 2;
+  }
+  if (html_path.empty()) html_path = inputs.dir + "/report.html";
+
+  try {
+    const stats::ReportResult result = stats::write_run_report(inputs, html_path);
+    std::printf("wrote %s (%zu bytes): %zu jobs, %zu samples, %zu journal records\n",
+                html_path.c_str(), result.html_bytes, result.jobs, result.samples,
+                result.journal_records);
+    if (result.samples == 0) {
+      std::printf("note: no timeseries.csv in %s — run with --timeseries for the "
+                  "utilization and queue-depth charts\n",
+                  inputs.dir.c_str());
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
+
+}  // namespace elastisim::cli

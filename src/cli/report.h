@@ -1,0 +1,17 @@
+// `elastisim report <out-dir>` — render a simulation run directory into a
+// self-contained report.html (stats/run_report.h). Offline companion to
+// `elastisim inspect`: inspect answers questions about one job or one
+// decision, report gives the whole-run picture at a glance.
+#pragma once
+
+namespace elastisim::util {
+class Flags;
+}
+
+namespace elastisim::cli {
+
+/// Exit codes: 0 report written, 1 runtime error (missing/malformed
+/// jobs.csv, unwritable output), 2 usage error.
+int run_report(const util::Flags& flags);
+
+}  // namespace elastisim::cli

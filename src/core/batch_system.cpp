@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "stats/chrome_trace.h"
+#include "stats/state_sampler.h"
 #include "stats/telemetry.h"
 #include "util/fmt.h"
 #include "util/log.h"
@@ -132,6 +133,7 @@ void BatchSystem::enter_queue(JobId id) {
   job.state = JobState::kQueued;
   queue_order_.push_back(id);
   arm_timer();
+  arm_sample_timer();
   invoke_scheduler(stats::JournalCause::kSubmit);
 }
 
@@ -153,6 +155,7 @@ void BatchSystem::resolve_dependents(JobId id, bool succeeded) {
       queue_order_.push_back(child_id);
       ELSIM_DEBUG("t={} job {} released into the queue", engine_->now(), child_id);
       arm_timer();
+      arm_sample_timer();
     }
   }
 }
@@ -180,6 +183,12 @@ void BatchSystem::cancel_job(Managed& job) {
 
 std::vector<platform::NodeId> BatchSystem::nodes_of(JobId id) const {
   return managed(id).nodes;
+}
+
+std::vector<JobId> BatchSystem::unfinished_job_ids() const {
+  std::vector<JobId> ids = queue_order_;
+  ids.insert(ids.end(), running_order_.begin(), running_order_.end());
+  return ids;
 }
 
 double BatchSystem::now() const { return engine_->now(); }
@@ -311,6 +320,7 @@ void BatchSystem::start_job(JobId id, int nodes) {
       chrome_->instant(util::fmt("job {} restarts from checkpoint", id), engine_->now());
     }
     if (telemetry::enabled()) checkpoint_restarts_->add();
+    if (sampler_) sampler_->count_checkpoint_restart();
     job.execution->start_from(job.checkpoint, config_.restart_overhead);
   } else {
     job.execution->start();
@@ -370,7 +380,10 @@ void BatchSystem::process_boundary(JobId id) {
                       granted ? stats::VerdictAction::kEvolvingGranted
                               : stats::VerdictAction::kEvolvingDenied,
                       stats::HoldReason::kNone, desired, request_seq, std::move(request));
-      if (granted) job.pending_target = desired;
+      if (granted) {
+        job.pending_target = desired;
+        if (sampler_) sampler_->count_evolving_grant();
+      }
     }
     job.boundary_delta = 0;
   }
@@ -414,6 +427,7 @@ void BatchSystem::apply_resize(Managed& job, int target) {
       ensure_telemetry();
       expansions_->add();
     }
+    if (sampler_) sampler_->count_expansion();
     chrome_occupy(job, added);
     ELSIM_DEBUG("t={} expand job {} {} -> {}", engine_->now(), id, current, target);
     job.execution->resume_with_nodes(std::move(grown), config_.charge_reconfiguration,
@@ -436,6 +450,7 @@ void BatchSystem::apply_resize(Managed& job, int target) {
             ensure_telemetry();
             shrinks_->add();
           }
+          if (sampler_) sampler_->count_shrink();
           invoke_scheduler(stats::JournalCause::kShrinkComplete);
         });
   }
@@ -689,6 +704,7 @@ void BatchSystem::evict_job(Managed& job, platform::NodeId failed_node) {
     jobs_requeued_->add();
     lost_node_seconds_hist_->record(lost_node_seconds);
   }
+  if (sampler_) sampler_->count_requeue(lost_node_seconds);
   queue_order_.push_back(id);
   ++requeues_;
 }
@@ -742,6 +758,7 @@ void BatchSystem::invoke_scheduler(stats::JournalCause cause) {
     rounds_->add(static_cast<std::uint64_t>(rounds));
   }
   chrome_counters();
+  if (sampler_) sample_state();
   in_scheduler_ = false;
 }
 
@@ -818,6 +835,26 @@ void BatchSystem::chrome_counters() {
   chrome_->counter("queue depth", now, static_cast<double>(queue_order_.size()));
   chrome_->counter("running jobs", now, static_cast<double>(running_order_.size()));
   chrome_->counter("free nodes", now, static_cast<double>(free_nodes_.size()));
+}
+
+void BatchSystem::sample_state() {
+  sampler_->sample(engine_->now(), static_cast<int>(queue_order_.size()),
+                   static_cast<int>(running_order_.size()),
+                   static_cast<int>(free_nodes_.size()),
+                   static_cast<int>(failed_nodes_.size()),
+                   static_cast<int>(drained_nodes_.size()),
+                   static_cast<int>(cluster_->node_count()));
+}
+
+void BatchSystem::arm_sample_timer() {
+  if (!sampler_ || sampler_->interval() <= 0.0 || sample_timer_armed_) return;
+  sample_timer_armed_ = true;
+  engine_->schedule_in(sampler_->interval(), [this] {
+    sample_timer_armed_ = false;
+    if (unfinished_ == 0 || !sampler_) return;  // let the simulation drain
+    sample_state();
+    arm_sample_timer();
+  });
 }
 
 void BatchSystem::arm_timer() {

@@ -42,6 +42,10 @@ class Gauge;
 class Histogram;
 }  // namespace elastisim::telemetry
 
+namespace elastisim::stats {
+class StateSampler;
+}  // namespace elastisim::stats
+
 namespace elastisim::core {
 
 /// How the batch system maps a node-count decision onto concrete nodes.
@@ -119,6 +123,12 @@ class BatchSystem final : public SchedulerContext {
   /// tracks and instant markers. Pass nullptr to detach.
   void set_chrome_trace(telemetry::ChromeTraceBuilder* chrome) { chrome_ = chrome; }
 
+  /// Attaches a simulation-state sampler (not owned; must outlive the batch
+  /// system): one StateSample per scheduling point, plus the sampler's fixed
+  /// cadence when it has one. Pass nullptr to detach; absent, instrumentation
+  /// costs one branch per scheduling point.
+  void set_state_sampler(stats::StateSampler* sampler) { sampler_ = sampler; }
+
   /// Schedules node `node` to fail at `fail_time` and (optionally) return to
   /// service at `repair_time`. A failed node leaves the free pool; a job
   /// running on it is killed or requeued per BatchConfig::failure_policy.
@@ -151,6 +161,10 @@ class BatchSystem final : public SchedulerContext {
 
   /// Concrete nodes a job currently occupies (empty when not running).
   std::vector<platform::NodeId> nodes_of(workload::JobId id) const;
+
+  /// Ids of jobs still queued or running — the "stuck" population when the
+  /// event queue drains with work left over (queue order, then run order).
+  std::vector<workload::JobId> unfinished_job_ids() const;
 
   // --- SchedulerContext ----------------------------------------------------
   double now() const override;
@@ -244,6 +258,10 @@ class BatchSystem final : public SchedulerContext {
   void chrome_occupy(const Managed& job, const std::vector<platform::NodeId>& nodes);
   /// Samples the queue/free/running counter tracks into the Chrome trace.
   void chrome_counters();
+  /// Records one StateSample of the current queue/node state (sampler_ set).
+  void sample_state();
+  /// Periodic cadence for the state sampler (interval > 0 only).
+  void arm_sample_timer();
 
   sim::Engine* engine_;
   const platform::Cluster* cluster_;
@@ -251,6 +269,7 @@ class BatchSystem final : public SchedulerContext {
   stats::Recorder* recorder_;
   stats::EventTrace* trace_ = nullptr;
   stats::DecisionJournal* journal_ = nullptr;
+  stats::StateSampler* sampler_ = nullptr;
   telemetry::ChromeTraceBuilder* chrome_ = nullptr;
   BatchConfig config_;
 
@@ -297,6 +316,7 @@ class BatchSystem final : public SchedulerContext {
   bool in_scheduler_ = false;
   bool rerun_scheduler_ = false;
   bool timer_armed_ = false;
+  bool sample_timer_armed_ = false;
 };
 
 }  // namespace elastisim::core

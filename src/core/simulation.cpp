@@ -20,6 +20,7 @@ SimulationResult run_simulation(const SimulationConfig& config,
   BatchSystem batch(engine, cluster, std::move(scheduler), result.recorder, config.batch);
   if (config.trace) batch.set_event_trace(config.trace);
   if (config.journal) batch.set_journal(config.journal);
+  if (config.sampler) batch.set_state_sampler(config.sampler);
 
   result.submitted = batch.submit_all(std::move(jobs));
 

@@ -20,9 +20,10 @@ struct SimulationConfig {
   /// A make_scheduler() name.
   std::string scheduler = "fcfs";
   /// Optional sinks attached to the batch system for the run (not owned;
-  /// must outlive run_simulation). Both default off.
+  /// must outlive run_simulation). All default off.
   stats::EventTrace* trace = nullptr;
   stats::DecisionJournal* journal = nullptr;
+  stats::StateSampler* sampler = nullptr;
 };
 
 struct SimulationResult {

@@ -55,7 +55,9 @@ struct GaugeSample {
 /// Point-in-time value plus a bounded timeline of samples. When the timeline
 /// reaches kMaxSamples, every other retained sample is dropped and the
 /// recording stride doubles, so long runs keep an evenly thinned timeline
-/// instead of growing without bound (or truncating the tail).
+/// instead of growing without bound (or truncating the tail). The final
+/// sample is always the most recent update: off-stride updates refresh a
+/// provisional tail entry instead of vanishing.
 class Gauge {
  public:
   void set(double sim_time, double value);
@@ -74,6 +76,8 @@ class Gauge {
   double max_ = 0.0;
   std::uint64_t updates_ = 0;
   std::uint64_t stride_ = 1;
+  /// samples_.back() is an off-stride refresh awaiting replacement.
+  bool tail_provisional_ = false;
   std::vector<GaugeSample> samples_;
 };
 

@@ -63,6 +63,22 @@ if(NOT timeline_text MATCHES "started")
   message(FATAL_ERROR "inspect_smoke: job 1 timeline has no start verdict:\n${timeline_text}")
 endif()
 
+# A job id the workload cannot contain: the journal loads fine but holds no
+# decisions, which is exit code 3 (distinct from error=1 and usage=2) so
+# scripts can tell the cases apart.
+execute_process(
+  COMMAND ${ELASTISIM} inspect --job 424242 ${journal_a}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text
+  ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 3)
+  message(FATAL_ERROR "inspect_smoke: inspect --job on an absent job exited ${exit_code}, "
+                      "expected 3\n${stdout_text}\n${stderr_text}")
+endif()
+if(NOT stderr_text MATCHES "no decisions recorded for job 424242")
+  message(FATAL_ERROR "inspect_smoke: absent-job message missing:\n${stderr_text}")
+endif()
+
 # --- inspect --diff ---------------------------------------------------------
 execute_process(
   COMMAND ${ELASTISIM} inspect --diff ${journal_a} ${journal_b}

@@ -1,0 +1,99 @@
+# End-to-end run-report smoke test, run as a CTest script:
+#   cmake -DELASTISIM=<binary> -DPLATFORM=<json> -DWORKLOAD=<json>
+#         -DOUT_DIR=<dir> -P report_smoke.cmake
+# Runs the simulator twice with --timeseries (same seed: timeseries.csv must
+# be byte-identical — the determinism property docs/FORMATS.md documents),
+# then renders `elastisim report` and asserts report.html exists, is
+# non-empty, and carries the documented section markers.
+cmake_minimum_required(VERSION 3.19)
+
+foreach(var ELASTISIM PLATFORM WORKLOAD OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "report_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+# --- two same-seed runs with --timeseries -----------------------------------
+foreach(run IN ITEMS run_a run_b)
+  execute_process(
+    COMMAND ${ELASTISIM} --platform ${PLATFORM} --workload ${WORKLOAD}
+            --out-dir ${OUT_DIR}/${run} --trace --timeseries
+            --journal ${OUT_DIR}/${run}/journal.jsonl
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE stdout_text
+    ERROR_VARIABLE stderr_text)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR "report_smoke: simulator exited ${exit_code}\n"
+                        "${stdout_text}\n${stderr_text}")
+  endif()
+  if(NOT EXISTS "${OUT_DIR}/${run}/timeseries.csv")
+    message(FATAL_ERROR "report_smoke: --timeseries wrote no timeseries.csv")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT_DIR}/run_a/timeseries.csv ${OUT_DIR}/run_b/timeseries.csv
+  RESULT_VARIABLE compare_code)
+if(NOT compare_code EQUAL 0)
+  message(FATAL_ERROR "report_smoke: same-seed timeseries.csv differ")
+endif()
+
+# timeseries.csv carries the documented header (docs/FORMATS.md).
+file(STRINGS "${OUT_DIR}/run_a/timeseries.csv" timeseries_lines LIMIT_COUNT 1)
+list(GET timeseries_lines 0 header)
+foreach(column time queued running allocated_nodes down_nodes utilization)
+  if(NOT header MATCHES "${column}")
+    message(FATAL_ERROR "report_smoke: timeseries.csv header lacks '${column}': ${header}")
+  endif()
+endforeach()
+
+# --- elastisim report -------------------------------------------------------
+execute_process(
+  COMMAND ${ELASTISIM} report ${OUT_DIR}/run_a
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text
+  ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "report_smoke: report exited ${exit_code}\n"
+                      "${stdout_text}\n${stderr_text}")
+endif()
+set(report_file "${OUT_DIR}/run_a/report.html")
+if(NOT EXISTS "${report_file}")
+  message(FATAL_ERROR "report_smoke: ${report_file} was not written")
+endif()
+file(SIZE "${report_file}" report_size)
+if(report_size LESS_EQUAL 0)
+  message(FATAL_ERROR "report_smoke: ${report_file} is empty")
+endif()
+file(READ "${report_file}" report_html)
+foreach(marker "id=\"summary\"" "id=\"gantt\"" "id=\"utilization\"" "id=\"queue\""
+               "id=\"journal\"" "<svg")
+  string(FIND "${report_html}" "${marker}" marker_pos)
+  if(marker_pos EQUAL -1)
+    message(FATAL_ERROR "report_smoke: report.html lacks '${marker}'")
+  endif()
+endforeach()
+# Self-contained: no external fetches.
+string(FIND "${report_html}" "https://" external_pos)
+if(NOT external_pos EQUAL -1)
+  message(FATAL_ERROR "report_smoke: report.html references an external URL")
+endif()
+
+# --- report usage errors ----------------------------------------------------
+execute_process(
+  COMMAND ${ELASTISIM} report
+  RESULT_VARIABLE exit_code
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT exit_code EQUAL 2)
+  message(FATAL_ERROR "report_smoke: bare 'report' exited ${exit_code}, expected 2")
+endif()
+execute_process(
+  COMMAND ${ELASTISIM} report ${OUT_DIR}/does_not_exist
+  RESULT_VARIABLE exit_code
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT exit_code EQUAL 1)
+  message(FATAL_ERROR "report_smoke: report on a missing dir exited ${exit_code}, expected 1")
+endif()
+
+message(STATUS "report_smoke: ok (report.html ${report_size} bytes)")

@@ -78,6 +78,37 @@ TEST(TelemetryGauge, TimelineDecimatesInsteadOfGrowing) {
   EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(updates - 1));
 }
 
+TEST(TelemetryGauge, FinalSampleAlwaysRetained) {
+  // Deliberately ends off-stride (a prime count well past two thinning
+  // passes): the provisional-tail rule must keep the very last observation
+  // in the timeline no matter where the stride lands.
+  Gauge gauge;
+  const std::size_t updates = 2 * Gauge::kMaxSamples + 4099;
+  for (std::size_t i = 0; i < updates; ++i) {
+    gauge.set(static_cast<double>(i), static_cast<double>(2 * i));
+  }
+  ASSERT_FALSE(gauge.samples().empty());
+  EXPECT_DOUBLE_EQ(gauge.samples().back().time, static_cast<double>(updates - 1));
+  EXPECT_DOUBLE_EQ(gauge.samples().back().value, static_cast<double>(2 * (updates - 1)));
+}
+
+TEST(TelemetryGauge, TimestampsStayMonotonicAcrossThinning) {
+  // Crossing kMaxSamples repeatedly (several stride doublings) must never
+  // reorder the timeline: the re-appended tail after a thinning pass has to
+  // land strictly after every kept sample.
+  Gauge gauge;
+  const std::size_t updates = 5 * Gauge::kMaxSamples + 1;
+  for (std::size_t i = 0; i < updates; ++i) {
+    gauge.set(static_cast<double>(i), 1.0);
+  }
+  EXPECT_LE(gauge.samples().size(), Gauge::kMaxSamples);
+  for (std::size_t i = 1; i < gauge.samples().size(); ++i) {
+    ASSERT_LT(gauge.samples()[i - 1].time, gauge.samples()[i].time)
+        << "non-monotonic at sample " << i;
+  }
+  EXPECT_DOUBLE_EQ(gauge.samples().back().time, static_cast<double>(updates - 1));
+}
+
 TEST(TelemetryHistogram, EmptyReportsZeros) {
   Histogram histogram;
   EXPECT_EQ(histogram.count(), 0u);
