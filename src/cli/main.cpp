@@ -26,6 +26,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -34,6 +35,7 @@
 #include "cli/inspect.h"
 #include "cli/report.h"
 #include "core/fault_injector.h"
+#include "core/invariant_checker.h"
 #include "core/simulation.h"
 #include "json/json.h"
 #include "stats/chrome_trace.h"
@@ -59,7 +61,7 @@ void usage(const char* program) {
                "          [--out-dir <dir>] [--trace] [--telemetry]\n"
                "          [--timeseries] [--sample-interval <seconds>]\n"
                "          [--chrome-trace <file.json>] [--journal <file.jsonl>]\n"
-               "          [--log <level>]\n"
+               "          [--validate] [--log <level>]\n"
                "   or: %s inspect --job <id> <journal.jsonl>\n"
                "   or: %s inspect --diff <a.jsonl> <b.jsonl>\n"
                "   or: %s report <out-dir> [--out <report.html>]\n"
@@ -242,6 +244,15 @@ int main(int argc, char** argv) {
     // timeline"; a bare --timeseries samples at scheduling points only.
     const bool want_timeseries = flags.get("timeseries", false) || sample_interval > 0.0;
     const bool want_telemetry = flags.get("telemetry", false) || !chrome_path.empty();
+    // --validate runs the InvariantChecker for the whole simulation: node
+    // conservation, queue/journal/sampler agreement, and monotonic clocks
+    // are re-verified at every scheduling point (docs/ANALYSIS.md).
+    const bool want_validate =
+        flags.get("validate", false) ||
+        [] {
+          const char* env = std::getenv("ELSIM_VALIDATE");
+          return env != nullptr && *env != '\0' && std::string(env) != "0";
+        }();
     for (const std::string& unknown : flags.unused()) {
       ELSIM_WARN("unknown flag --{} ignored", unknown);
     }
@@ -264,6 +275,11 @@ int main(int argc, char** argv) {
       if (want_timeseries) batch.set_state_sampler(&sampler);
       telemetry::ChromeTraceBuilder chrome;
       if (!chrome_path.empty()) batch.set_chrome_trace(&chrome);
+      core::InvariantChecker checker;
+      if (want_validate) {
+        checker.attach_engine(engine);
+        batch.set_invariant_checker(&checker);
+      }
       core::FaultInjector::apply(batch, failures);
       result.submitted = batch.submit_all(std::move(jobs));
       const auto wall_begin = std::chrono::steady_clock::now();
@@ -277,6 +293,11 @@ int main(int argc, char** argv) {
       result.makespan = result.recorder.makespan();
       result.events_processed = engine.events_processed();
       if (result.stuck > 0) stuck_ids = batch.unfinished_job_ids();
+      if (want_validate) {
+        std::printf("validated %llu scheduling points, %llu events: all invariants hold\n",
+                    static_cast<unsigned long long>(checker.scheduling_point_checks()),
+                    static_cast<unsigned long long>(checker.events_checked()));
+      }
       if (want_trace) {
         std::filesystem::create_directories(out_dir);
         std::ofstream trace_csv(out_dir + "/trace.csv");

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/invariant_checker.h"
 #include "stats/chrome_trace.h"
 #include "stats/state_sampler.h"
 #include "stats/telemetry.h"
@@ -584,8 +585,8 @@ void BatchSystem::fail_node(platform::NodeId node, double repair_time) {
 }
 
 void BatchSystem::restore_node(platform::NodeId node) {
-  auto until = repair_until_.find(node);
-  if (until != repair_until_.end() && engine_->now() < until->second) {
+  auto repair_it = repair_until_.find(node);
+  if (repair_it != repair_until_.end() && engine_->now() < repair_it->second) {
     return;  // a later-injected outage still covers this node
   }
   if (failed_nodes_.erase(node) == 0) return;
@@ -719,6 +720,10 @@ void BatchSystem::invoke_scheduler(stats::JournalCause cause) {
     return;
   }
   in_scheduler_ = true;
+  // The begin hook snapshots the queue counts before the journal record is
+  // opened, so the checker can cross-check the committed record against what
+  // the scheduler actually saw.
+  if (checker_) checker_->on_scheduling_point_begin(*this);
   const bool telemetry_on = telemetry::enabled();
   double wall_begin = 0.0;
   if (telemetry_on) {
@@ -759,7 +764,15 @@ void BatchSystem::invoke_scheduler(stats::JournalCause cause) {
   }
   chrome_counters();
   if (sampler_) sample_state();
+  if (checker_) checker_->on_scheduling_point_end(*this);
   in_scheduler_ = false;
+}
+
+bool BatchSystem::test_corrupt_double_allocation(workload::JobId id) {
+  const Managed& job = managed(id);
+  if (job.nodes.empty()) return false;
+  free_nodes_.insert(job.nodes.front());
+  return true;
 }
 
 void BatchSystem::rebuild_views() {

@@ -48,6 +48,8 @@ class StateSampler;
 
 namespace elastisim::core {
 
+class InvariantChecker;
+
 /// How the batch system maps a node-count decision onto concrete nodes.
 enum class PlacementPolicy {
   /// Lowest free node ids (simple, deterministic baseline).
@@ -129,6 +131,19 @@ class BatchSystem final : public SchedulerContext {
   /// costs one branch per scheduling point.
   void set_state_sampler(stats::StateSampler* sampler) { sampler_ = sampler; }
 
+  /// Attaches a runtime invariant checker (not owned; must outlive the batch
+  /// system): every scheduling point re-validates node-allocation
+  /// conservation, queue/state agreement, and sink monotonicity, throwing
+  /// InvariantViolation on the first breach. Pass nullptr to detach; absent,
+  /// the cost is one branch per scheduling point. See docs/ANALYSIS.md.
+  void set_invariant_checker(InvariantChecker* checker) { checker_ = checker; }
+
+  /// Test-only corruption hook: re-inserts the first node allocated to `job`
+  /// into the free pool, deliberately breaking allocation conservation so
+  /// tests can prove the InvariantChecker catches a double allocation.
+  /// Returns false when the job holds no nodes.
+  bool test_corrupt_double_allocation(workload::JobId job);
+
   /// Schedules node `node` to fail at `fail_time` and (optionally) return to
   /// service at `repair_time`. A failed node leaves the free pool; a job
   /// running on it is killed or requeued per BatchConfig::failure_policy.
@@ -180,6 +195,10 @@ class BatchSystem final : public SchedulerContext {
                std::string detail = std::string()) override;
 
  private:
+  /// The checker reads the private pools/orders directly so validation needs
+  /// no public surface area beyond the attach call.
+  friend class InvariantChecker;
+
   enum class JobState {
     kPending,    // submitted, submit_time not reached
     kHeld,       // waiting on dependencies
@@ -271,6 +290,7 @@ class BatchSystem final : public SchedulerContext {
   stats::DecisionJournal* journal_ = nullptr;
   stats::StateSampler* sampler_ = nullptr;
   telemetry::ChromeTraceBuilder* chrome_ = nullptr;
+  InvariantChecker* checker_ = nullptr;
   BatchConfig config_;
 
   // Telemetry handles (cached by ensure_telemetry; null while disabled).

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/batch_system.h"
+#include "util/check.h"
 #include "util/log.h"
 #include "util/rng.h"
 
@@ -62,8 +63,12 @@ std::vector<FailureEvent> FaultInjector::generate(std::size_t node_count,
                                                   std::size_t pod_size) const {
   std::vector<FailureEvent> events;
   if (config_.mtbf <= 0.0 || config_.horizon <= 0.0 || node_count == 0) return events;
-  assert(config_.weibull_shape > 0.0 && "weibull shape must be positive");
-  assert(config_.mean_repair >= 0.0 && "negative repair duration");
+  // These come straight from CLI flags (--mtbf-shape, --mean-repair): check
+  // in release builds too.
+  ELSIM_CHECK(config_.weibull_shape > 0.0, "weibull shape must be positive, got {}",
+              config_.weibull_shape);
+  ELSIM_CHECK(config_.mean_repair >= 0.0, "repair duration must be non-negative, got {}",
+              config_.mean_repair);
 
   // One child stream per node, all derived from the master seed in node
   // order: node i's schedule is independent of node_count and horizon, so
@@ -101,6 +106,7 @@ std::vector<FailureEvent> FaultInjector::generate(std::size_t node_count,
 
   std::stable_sort(events.begin(), events.end(),
                    [](const FailureEvent& a, const FailureEvent& b) {
+                     // elsim-lint: allow(float-equality) -- sort tie-break wants exactness
                      if (a.fail_time != b.fail_time) return a.fail_time < b.fail_time;
                      return a.node < b.node;
                    });

@@ -345,6 +345,7 @@ void JobExecution::launch_io(const workload::IoTask& task, const std::string& la
     }
     link_bytes[task.write ? cluster_->pfs_write() : cluster_->pfs_read()] +=
         per_node * static_cast<double>(k);
+    // elsim-lint: allow(unordered-iteration) -- demands are sorted below
     for (const auto& [link, bytes] : link_bytes) {
       spec.demands.push_back({link, bytes / per_node});
     }
@@ -396,11 +397,13 @@ bool JobExecution::launch_flows(const std::vector<Flow>& flows,
   }
   if (link_bytes.empty()) return false;
   double heaviest = 0.0;
+  // elsim-lint: allow(unordered-iteration) -- max() is order-independent
   for (const auto& [link, bytes] : link_bytes) heaviest = std::max(heaviest, bytes);
   sim::ActivitySpec spec;
   spec.label = label;
   spec.work = heaviest;
   spec.demands.reserve(link_bytes.size());
+  // elsim-lint: allow(unordered-iteration) -- demands are sorted below
   for (const auto& [link, bytes] : link_bytes) {
     spec.demands.push_back({link, bytes / heaviest});
   }

@@ -66,6 +66,7 @@ class FreeProfile {
       return;
     }
     --it;
+    // elsim-lint: allow(float-equality) -- exact map-key match, not arithmetic
     if (it->first != time) steps_[time] = it->second;
   }
 

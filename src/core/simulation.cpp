@@ -1,11 +1,24 @@
 #include "core/simulation.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <optional>
 #include <stdexcept>
+#include <string_view>
 
+#include "core/invariant_checker.h"
 #include "util/fmt.h"
 
 namespace elastisim::core {
+
+namespace {
+
+bool validate_env_enabled() {
+  const char* env = std::getenv("ELSIM_VALIDATE");
+  return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+}
+
+}  // namespace
 
 SimulationResult run_simulation(const SimulationConfig& config,
                                 std::vector<workload::Job> jobs) {
@@ -21,6 +34,12 @@ SimulationResult run_simulation(const SimulationConfig& config,
   if (config.trace) batch.set_event_trace(config.trace);
   if (config.journal) batch.set_journal(config.journal);
   if (config.sampler) batch.set_state_sampler(config.sampler);
+  std::optional<InvariantChecker> checker;
+  if (config.validate || validate_env_enabled()) {
+    checker.emplace();
+    checker->attach_engine(engine);
+    batch.set_invariant_checker(&*checker);
+  }
 
   result.submitted = batch.submit_all(std::move(jobs));
 

@@ -24,6 +24,12 @@ struct SimulationConfig {
   stats::EventTrace* trace = nullptr;
   stats::DecisionJournal* journal = nullptr;
   stats::StateSampler* sampler = nullptr;
+  /// Runs a core::InvariantChecker for the whole run: every scheduling point
+  /// and engine event re-validates the state machine, throwing
+  /// InvariantViolation on the first breach. Also enabled by setting the
+  /// ELSIM_VALIDATE environment variable to anything but "0", so examples
+  /// and benches pick it up without code changes.
+  bool validate = false;
 };
 
 struct SimulationResult {

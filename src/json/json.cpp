@@ -131,6 +131,7 @@ bool Value::operator==(const Value& other) const {
       if (a.size() != b.size()) return false;
       for (const auto& [key, value] : a) {
         const Value* bv = b.find(key);
+        // elsim-lint: allow(float-equality) -- deep equality compares numbers exactly
         if (!bv || !(*bv == value)) return false;
       }
       return true;
@@ -416,6 +417,7 @@ void number_to(double d, std::string& out) {
     return;
   }
   // Integral doubles print without fraction for readability.
+  // elsim-lint: allow(float-equality) -- floor() comparison detects integral values
   if (d == std::floor(d) && std::abs(d) < 1e15) {
     out += std::to_string(static_cast<long long>(d));
     return;

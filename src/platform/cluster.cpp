@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 #include "stats/telemetry.h"
+#include "util/check.h"
 #include "util/fmt.h"
 
 namespace elastisim::platform {
@@ -26,11 +27,17 @@ std::optional<TopologyKind> topology_from_string(std::string_view name) {
 }
 
 Cluster::Cluster(sim::Engine& engine, const ClusterConfig& config) : config_(config) {
-  assert(config.node_count > 0);
-  assert(config.cores_per_node > 0);
-  assert(config.flops_per_core > 0.0);
-  assert(config.link_bandwidth > 0.0);
-  assert(config.pod_size > 0);
+  // ClusterConfig comes from user JSON / CLI flags: keep these checks alive
+  // in release builds so a bad platform file fails loudly, not undefined.
+  ELSIM_CHECK(config.node_count > 0, "cluster needs at least one node, got {}",
+              config.node_count);
+  ELSIM_CHECK(config.cores_per_node > 0, "cores_per_node must be positive, got {}",
+              config.cores_per_node);
+  ELSIM_CHECK(config.flops_per_core > 0.0, "flops_per_core must be positive, got {}",
+              config.flops_per_core);
+  ELSIM_CHECK(config.link_bandwidth > 0.0, "link_bandwidth must be positive, got {}",
+              config.link_bandwidth);
+  ELSIM_CHECK(config.pod_size > 0, "pod_size must be positive, got {}", config.pod_size);
 
   sim::FluidModel& fluid = engine.fluid();
 

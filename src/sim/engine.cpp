@@ -26,6 +26,7 @@ bool Engine::step() {
   if (time > now_) now_ = time;
   ++events_processed_;
   callback();
+  if (validator_) validator_(now_);
   return true;
 }
 
@@ -43,6 +44,7 @@ bool Engine::step_timed() {
   if (time > now_) now_ = time;
   ++events_processed_;
   callback();
+  if (validator_) validator_(now_);
   const double wall_done = telemetry::wall_now();
   pop_hist_->record(wall_dispatch - wall_pop);
   dispatch_hist_->record(wall_done - wall_dispatch);

@@ -55,6 +55,13 @@ class Engine {
   /// Number of live pending events.
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Installs a validation hook called after every dispatched event with the
+  /// current simulated time (core::InvariantChecker under --validate). Pass
+  /// an empty function to remove; costs one branch per event when absent.
+  void set_event_validator(std::function<void(SimTime)> validator) {
+    validator_ = std::move(validator);
+  }
+
   FluidModel& fluid() { return *fluid_; }
   const FluidModel& fluid() const { return *fluid_; }
 
@@ -67,6 +74,7 @@ class Engine {
   EventQueue queue_;
   std::unique_ptr<FluidModel> fluid_;
   std::uint64_t events_processed_ = 0;
+  std::function<void(SimTime)> validator_;
 
   // Telemetry handles (cached on first timed step; null while disabled).
   // Dispatch work is additionally grouped into spans of up to kDispatchBatch

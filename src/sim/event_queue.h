@@ -52,6 +52,7 @@ class EventQueue {
     std::uint64_t seq;
     EventId id;
     bool operator>(const Entry& other) const {
+      // elsim-lint: allow(float-equality) -- heap ordering wants exact times
       if (time != other.time) return time > other.time;
       return seq > other.seq;
     }

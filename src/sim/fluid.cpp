@@ -6,6 +6,7 @@
 
 #include "sim/engine.h"
 #include "stats/telemetry.h"
+#include "util/fmt.h"
 #include "util/log.h"
 
 namespace elastisim::sim {
@@ -97,6 +98,48 @@ double FluidModel::rate(ActivityId id) const {
   auto it = activities_.find(id);
   if (it == activities_.end()) return 0.0;  // completed, cancelled, or unknown
   return it->second.rate;
+}
+
+std::optional<std::string> FluidModel::check_invariants() const {
+  if (order_.size() != activities_.size()) {
+    return util::fmt("fluid model: {} activities in insertion order but {} in the table",
+                     order_.size(), activities_.size());
+  }
+  for (ActivityId id : order_) {
+    const auto it = activities_.find(id);
+    if (it == activities_.end()) {
+      return util::fmt("fluid model: activity {} in insertion order but not in the table",
+                       id);
+    }
+    const Activity& activity = it->second;
+    const char* label =
+        activity.spec.label.empty() ? "<unnamed>" : activity.spec.label.c_str();
+    if (!(activity.remaining >= 0.0)) {
+      return util::fmt("fluid activity '{}' has negative remaining work {}", label,
+                       activity.remaining);
+    }
+    if (activity.spec.work > 0.0 &&
+        activity.remaining > activity.spec.work * (1.0 + kRelEps) + kAbsEps) {
+      return util::fmt("fluid activity '{}' progress outside [0, 1]: remaining {} of {}",
+                       label, activity.remaining, activity.spec.work);
+    }
+    if (!(activity.rate >= 0.0) || !std::isfinite(activity.rate)) {
+      return util::fmt("fluid activity '{}' has invalid rate {}", label, activity.rate);
+    }
+    if (std::isfinite(activity.spec.rate_cap) &&
+        activity.rate > activity.spec.rate_cap * (1.0 + kRelEps) + kAbsEps) {
+      return util::fmt("fluid activity '{}' rate {} exceeds its cap {}", label,
+                       activity.rate, activity.spec.rate_cap);
+    }
+  }
+  for (std::size_t r = 0; r < resources_.size(); ++r) {
+    const Resource& resource = resources_[r];
+    if (!leq_tol(resource.consumption, resource.capacity)) {
+      return util::fmt("fluid resource '{}' oversubscribed: consumption {} > capacity {}",
+                       resource.name, resource.consumption, resource.capacity);
+    }
+  }
+  return std::nullopt;
 }
 
 void FluidModel::settle() {

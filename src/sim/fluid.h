@@ -103,6 +103,13 @@ class FluidModel {
   /// Number of rate recomputations performed (for performance benches).
   std::uint64_t rebalance_count() const { return rebalance_count_; }
 
+  /// Validates internal consistency: every activity's remaining work within
+  /// [0, total work] (progress in [0, 1]), rates non-negative, finite, and
+  /// within their caps, and per-resource consumption within capacity.
+  /// Returns a description of the first broken invariant, or nullopt when
+  /// all hold (core::InvariantChecker under --validate).
+  std::optional<std::string> check_invariants() const;
+
  private:
   struct Resource {
     std::string name;

@@ -1,5 +1,6 @@
 #include "stats/chrome_trace.h"
 
+#include <algorithm>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
@@ -46,6 +47,8 @@ void ChromeTraceBuilder::counter(const std::string& name, double sim_time, doubl
   // and mostly do not change between them.
   auto [it, inserted] = last_counter_.emplace(name, value);
   if (!inserted) {
+    // Near-equal values must still be recorded, only exact repeats are dropped.
+    // elsim-lint: allow(float-equality) -- intentional exact dedup of repeated samples
     if (it->second == value) return;
     it->second = value;
   }
@@ -62,9 +65,14 @@ void ChromeTraceBuilder::wall_slice(std::string label, double wall_start_s, doub
 }
 
 void ChromeTraceBuilder::close_open_slices(double sim_time) {
-  while (!open_.empty()) {
-    end_node_slice(open_.begin()->first, sim_time);
-  }
+  // Close in ascending node order: draining the unordered map directly would
+  // emit the final slices in hash order, breaking byte-identical traces.
+  std::vector<std::uint32_t> nodes;
+  nodes.reserve(open_.size());
+  // elsim-lint: allow(unordered-iteration) -- collected into a sorted vector
+  for (const auto& entry : open_) nodes.push_back(entry.first);
+  std::sort(nodes.begin(), nodes.end());
+  for (std::uint32_t node : nodes) end_node_slice(node, sim_time);
 }
 
 std::size_t ChromeTraceBuilder::event_count() const {

@@ -263,6 +263,7 @@ std::optional<JournalDivergence> first_divergence(const std::vector<JournalRecor
     if (ra == rb) continue;
     JournalDivergence divergence;
     divergence.index = i;
+    // elsim-lint: allow(float-equality) -- divergence detection is exact by design
     if (ra.time != rb.time) {
       divergence.what = util::fmt("record {}: time {} vs {}", ra.seq, ra.time, rb.time);
     } else if (ra.cause != rb.cause) {

@@ -36,6 +36,7 @@ void Recorder::on_submit(const workload::Job& job, double time) {
 void Recorder::change_allocation(double time, int delta) {
   allocated_now_ += delta;
   assert(allocated_now_ >= 0);
+  // elsim-lint: allow(float-equality) -- same-instant samples coalesce exactly
   if (!timeline_.empty() && timeline_.back().time == time) {
     timeline_.back().allocated_nodes = allocated_now_;
   } else {

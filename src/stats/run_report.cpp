@@ -333,6 +333,7 @@ std::string gantt_section(const std::vector<JobRow>& jobs, const TimeScale& base
   std::stable_sort(rows.begin(), rows.end(), [](const JobRow* a, const JobRow* b) {
     const double ka = a->started() ? a->start : a->submit;
     const double kb = b->started() ? b->start : b->submit;
+    // elsim-lint: allow(float-equality) -- sort tie-break wants exactness
     if (ka != kb) return ka < kb;
     return a->id < b->id;
   });

@@ -35,6 +35,7 @@ void StateSampler::sample(double time, int queued, int running, int free_nodes,
 void StateSampler::record(const StateSample& sample) {
   // Same-instant scheduling points collapse into one sample (last wins), so
   // the series stays a step function with unique timestamps.
+  // elsim-lint: allow(float-equality) -- same-instant samples coalesce exactly
   if (!samples_.empty() && samples_.back().time == sample.time) {
     samples_.back() = sample;
     return;

@@ -87,6 +87,7 @@ double Histogram::percentile(double p) const noexcept {
   if (rank < cumulative) return min_ < 0.0 ? min_ : 0.0;
   for (int i = 0; i < kBuckets; ++i) {
     const auto in_bucket = static_cast<double>(buckets_[static_cast<std::size_t>(i)]);
+    // elsim-lint: allow(float-equality) -- bucket counts are integral
     if (in_bucket == 0.0) continue;
     if (rank < cumulative + in_bucket) {
       const double lo = std::ldexp(1.0, i + kMinExp);

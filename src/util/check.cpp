@@ -1,0 +1,10 @@
+#include "util/check.h"
+
+namespace elastisim::util {
+
+void check_failed(const char* condition, const char* file, int line,
+                  const std::string& message) {
+  throw CheckError(fmt("check failed: {} ({}:{}): {}", message, file, line, condition));
+}
+
+}  // namespace elastisim::util

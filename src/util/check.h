@@ -1,0 +1,43 @@
+// Always-on checked assertions for conditions that must hold in release
+// builds: user input, file formats, CLI parameters, and the runtime
+// invariant validator. Unlike assert(), ELSIM_CHECK never compiles away —
+// a failed check throws util::CheckError with a formatted message, so a
+// malformed workload file or a corrupted simulation state surfaces as a
+// catchable error instead of silent undefined behavior.
+//
+// Use assert() for internal logic invariants that profiling shows hot;
+// use ELSIM_CHECK wherever the condition can be violated by data the
+// process does not control.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "util/fmt.h"
+
+namespace elastisim::util {
+
+/// Thrown by a failed ELSIM_CHECK. Derives from std::runtime_error so the
+/// existing CLI/test error handling (catch std::exception, exit 1) applies.
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Builds the diagnostic and throws CheckError; out-of-line so the macro
+/// expands to a single cheap branch at every call site.
+[[noreturn]] void check_failed(const char* condition, const char* file, int line,
+                               const std::string& message);
+
+}  // namespace elastisim::util
+
+/// ELSIM_CHECK(cond, "fmt", args...): throws util::CheckError when `cond` is
+/// false. Active in every build configuration. The message is formatted with
+/// util::fmt and only evaluated on failure.
+#define ELSIM_CHECK(condition, ...)                                              \
+  do {                                                                           \
+    if (!(condition)) {                                                          \
+      ::elastisim::util::check_failed(#condition, __FILE__, __LINE__,            \
+                                      ::elastisim::util::fmt(__VA_ARGS__));      \
+    }                                                                            \
+  } while (false)

@@ -4,7 +4,9 @@
 
 namespace elastisim::util {
 
-Flags::Flags(int argc, const char* const* argv) {
+Flags::Flags(int argc, const char* const* argv) : Flags(argc, argv, {}) {}
+
+Flags::Flags(int argc, const char* const* argv, const std::set<std::string>& boolean_flags) {
   if (argc > 0) program_ = argv[0];
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -16,7 +18,8 @@ Flags::Flags(int argc, const char* const* argv) {
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+    } else if (boolean_flags.count(arg) == 0 && i + 1 < argc &&
+               std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
       values_[arg] = argv[++i];
     } else {
       values_[arg] = "true";

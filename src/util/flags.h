@@ -3,11 +3,18 @@
 // Supports "--name=value", "--name value", and boolean "--name". Positional
 // arguments are collected in order. No registration step: callers query by
 // name with a default, which keeps example code short.
+//
+// Caveat of the registration-free design: "--name token" cannot tell a
+// boolean flag from a valued one, so a bare "--flag path" swallows the path
+// as the flag's value. Callers mixing boolean flags with positional
+// arguments should pass the boolean names via `boolean_flags`; those never
+// consume the next token.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -16,6 +23,9 @@ namespace elastisim::util {
 class Flags {
  public:
   Flags(int argc, const char* const* argv);
+  /// Names in `boolean_flags` are presence-only: "--quiet src" keeps "src"
+  /// positional instead of parsing it as the value of --quiet.
+  Flags(int argc, const char* const* argv, const std::set<std::string>& boolean_flags);
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& fallback) const;

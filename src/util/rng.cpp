@@ -1,9 +1,10 @@
 #include "util/rng.h"
 
 #include <bit>
-#include <cassert>
 #include <cmath>
 #include <numbers>
+
+#include "util/check.h"
 
 namespace elastisim::util {
 
@@ -40,12 +41,12 @@ double Rng::uniform() {
 }
 
 double Rng::uniform(double lo, double hi) {
-  assert(lo <= hi);
+  ELSIM_CHECK(lo <= hi, "uniform(lo, hi) needs lo <= hi, got [{}, {}]", lo, hi);
   return lo + (hi - lo) * uniform();
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  assert(lo <= hi);
+  ELSIM_CHECK(lo <= hi, "uniform_int(lo, hi) needs lo <= hi, got [{}, {}]", lo, hi);
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
   if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
   // Rejection sampling to avoid modulo bias.
@@ -58,19 +59,20 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
 }
 
 double Rng::exponential(double lambda) {
-  assert(lambda > 0.0);
+  ELSIM_CHECK(lambda > 0.0, "exponential rate must be positive, got {}", lambda);
   // 1 - uniform() is in (0, 1], so the log is finite.
   return -std::log(1.0 - uniform()) / lambda;
 }
 
 double Rng::weibull(double shape, double scale) {
-  assert(shape > 0.0 && scale > 0.0);
+  ELSIM_CHECK(shape > 0.0 && scale > 0.0,
+              "weibull needs positive shape and scale, got shape={} scale={}", shape, scale);
   // Inverse CDF: scale * (-ln(1 - U))^(1/shape); 1 - uniform() is in (0, 1].
   return scale * std::pow(-std::log(1.0 - uniform()), 1.0 / shape);
 }
 
 double Rng::log_uniform(double lo, double hi) {
-  assert(lo > 0.0 && lo <= hi);
+  ELSIM_CHECK(lo > 0.0 && lo <= hi, "log_uniform needs 0 < lo <= hi, got [{}, {}]", lo, hi);
   return std::exp(uniform(std::log(lo), std::log(hi)));
 }
 
@@ -96,7 +98,7 @@ double Rng::log_normal(double mu, double sigma) { return std::exp(normal(mu, sig
 bool Rng::bernoulli(double p) { return uniform() < p; }
 
 std::int64_t Rng::power_of_two(std::int64_t lo, std::int64_t hi) {
-  assert(lo >= 1 && lo <= hi);
+  ELSIM_CHECK(lo >= 1 && lo <= hi, "power_of_two needs 1 <= lo <= hi, got [{}, {}]", lo, hi);
   int lo_exp = 0;
   while ((std::int64_t{1} << lo_exp) < lo) ++lo_exp;
   int hi_exp = lo_exp;
@@ -106,13 +108,13 @@ std::int64_t Rng::power_of_two(std::int64_t lo, std::int64_t hi) {
 }
 
 std::size_t Rng::weighted_index(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  ELSIM_CHECK(!weights.empty(), "weighted_index needs at least one weight");
   double total = 0.0;
   for (double w : weights) {
-    assert(w >= 0.0);
+    ELSIM_CHECK(w >= 0.0, "weights must be non-negative, got {}", w);
     total += w;
   }
-  assert(total > 0.0);
+  ELSIM_CHECK(total > 0.0, "weights must not all be zero");
   double target = uniform() * total;
   for (std::size_t i = 0; i < weights.size(); ++i) {
     target -= weights[i];

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "util/check.h"
 #include "util/fmt.h"
 #include "util/rng.h"
 
@@ -158,7 +159,9 @@ void calibrate_work(Job& job) {
 }  // namespace
 
 double young_daly_interval(double checkpoint_seconds, double mtbf_seconds) {
-  assert(checkpoint_seconds >= 0.0 && mtbf_seconds > 0.0);
+  ELSIM_CHECK(checkpoint_seconds >= 0.0 && mtbf_seconds > 0.0,
+              "young_daly_interval needs checkpoint >= 0 and mtbf > 0, got C={} M={}",
+              checkpoint_seconds, mtbf_seconds);
   if (checkpoint_seconds <= 0.0) return 0.0;
   // Daly (FGCS 2006): for C < 2M the optimum is
   //   sqrt(2CM) * (1 + sqrt(C/2M)/3 + (C/2M)/9) - C,
@@ -172,13 +175,14 @@ double young_daly_interval(double checkpoint_seconds, double mtbf_seconds) {
 
 int daly_checkpoint_every(double checkpoint_seconds, double mtbf_seconds,
                           double iteration_seconds) {
-  assert(iteration_seconds > 0.0);
+  ELSIM_CHECK(iteration_seconds > 0.0, "iteration duration must be positive, got {}",
+              iteration_seconds);
   const double interval = young_daly_interval(checkpoint_seconds, mtbf_seconds);
   return std::max(1, static_cast<int>(std::lround(interval / iteration_seconds)));
 }
 
 double estimate_runtime(const Job& job, int nodes, double flops_per_node) {
-  assert(nodes >= 1);
+  ELSIM_CHECK(nodes >= 1, "estimate_runtime needs at least one node, got {}", nodes);
   double seconds = 0.0;
   for (const Phase& phase : job.application.phases) {
     double per_iteration = 0.0;
@@ -205,10 +209,15 @@ double estimate_runtime(const Job& job, int nodes, double flops_per_node) {
 }
 
 std::vector<Job> generate_workload(const GeneratorConfig& config) {
-  assert(config.moldable_fraction + config.malleable_fraction + config.evolving_fraction <=
-             1.0 + 1e-9 &&
-         "class fractions must sum to <= 1");
-  assert(config.min_nodes >= 1 && config.min_nodes <= config.max_nodes);
+  // GeneratorConfig is user-facing (CLI flags / JSON): keep the sanity
+  // checks alive in release builds.
+  ELSIM_CHECK(config.moldable_fraction + config.malleable_fraction + config.evolving_fraction <=
+                  1.0 + 1e-9,
+              "job-class fractions must sum to <= 1, got {} + {} + {}",
+              config.moldable_fraction, config.malleable_fraction, config.evolving_fraction);
+  ELSIM_CHECK(config.min_nodes >= 1 && config.min_nodes <= config.max_nodes,
+              "node range must satisfy 1 <= min <= max, got [{}, {}]", config.min_nodes,
+              config.max_nodes);
 
   Rng master(config.seed);
   Rng arrivals = master.split();

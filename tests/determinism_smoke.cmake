@@ -1,0 +1,52 @@
+# Cross-sink byte-identity smoke test, run as a CTest script:
+#   cmake -DELASTISIM=<binary> -DPLATFORM=<json> -DWORKLOAD=<json>
+#         -DOUT_DIR=<dir> -P determinism_smoke.cmake
+# Runs the simulator twice with identical inputs and every sink enabled
+# (--trace --timeseries --journal), under --validate so the InvariantChecker
+# is exercised end to end, and asserts that jobs.csv, trace.csv,
+# timeseries.csv, and the journal JSONL are byte-identical across the runs —
+# the determinism contract docs/ANALYSIS.md documents.
+cmake_minimum_required(VERSION 3.19)
+
+foreach(var ELASTISIM PLATFORM WORKLOAD OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "determinism_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+foreach(run IN ITEMS a b)
+  set(run_dir "${OUT_DIR}/run_${run}")
+  file(MAKE_DIRECTORY ${run_dir})
+  execute_process(
+    COMMAND ${ELASTISIM} --platform ${PLATFORM} --workload ${WORKLOAD}
+            --out-dir ${run_dir} --trace --timeseries
+            --journal ${run_dir}/journal.jsonl --validate
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE stdout_text
+    ERROR_VARIABLE stderr_text)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR "determinism_smoke: run ${run} exited ${exit_code}\n"
+                        "${stdout_text}\n${stderr_text}")
+  endif()
+  # --validate must report its verdict on success.
+  if(NOT stdout_text MATCHES "all invariants hold")
+    message(FATAL_ERROR "determinism_smoke: run ${run} printed no validation verdict:\n"
+                        "${stdout_text}")
+  endif()
+endforeach()
+
+foreach(sink IN ITEMS jobs.csv trace.csv timeseries.csv journal.jsonl)
+  set(file_a "${OUT_DIR}/run_a/${sink}")
+  set(file_b "${OUT_DIR}/run_b/${sink}")
+  if(NOT EXISTS ${file_a})
+    message(FATAL_ERROR "determinism_smoke: ${file_a} was not written")
+  endif()
+  file(SHA256 ${file_a} hash_a)
+  file(SHA256 ${file_b} hash_b)
+  if(NOT hash_a STREQUAL hash_b)
+    message(FATAL_ERROR "determinism_smoke: ${sink} differs between same-seed runs\n"
+                        "  ${file_a}: ${hash_a}\n  ${file_b}: ${hash_b}")
+  endif()
+endforeach()
+
+message(STATUS "determinism_smoke: all four sinks byte-identical across runs")

@@ -1,0 +1,283 @@
+// elsim-lint library tests: the lexical preprocessor, the symbol index, each
+// of the five rules against small fixtures with known violations, suppression
+// comments, and the JSON report schema (round-tripped through json::parse).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "elsim-lint/lint.h"
+#include "json/json.h"
+
+namespace elsimlint {
+namespace {
+
+namespace json = elastisim::json;
+
+/// Lints `text` as a .cpp fixture; `header` optionally seeds the shared
+/// symbol index the way pass 1 does for real headers.
+std::vector<Finding> run_lint(const std::string& text, const std::string& header = "",
+                              const std::set<std::string>& enabled = {}) {
+  SymbolIndex index;
+  if (!header.empty()) {
+    index_symbols(preprocess("fixture.h", header), index);
+  }
+  return lint_file(preprocess("fixture.cpp", text), index, enabled);
+}
+
+std::size_t count_rule(const std::vector<Finding>& findings, const std::string& rule,
+                       bool include_suppressed = true) {
+  std::size_t n = 0;
+  for (const Finding& finding : findings) {
+    if (finding.rule == rule && (include_suppressed || !finding.suppressed)) ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessing
+// ---------------------------------------------------------------------------
+
+TEST(LintPreprocess, CommentsAreBlankedAndCollected) {
+  const SourceFile file = preprocess("f.cpp", "int x; // rand() here\nint y;\n");
+  EXPECT_EQ(file.lines.size(), 3u);  // trailing newline yields an empty last line
+  EXPECT_NE(file.code.find("int x;"), std::string::npos);
+  EXPECT_EQ(file.code.find("rand"), std::string::npos);
+  EXPECT_NE(file.comments[0].find("rand() here"), std::string::npos);
+}
+
+TEST(LintPreprocess, StringContentsAreBlankedButQuotesKept) {
+  const SourceFile file = preprocess("f.cpp", "auto s = \"rand() time(nullptr)\";\n");
+  EXPECT_EQ(file.code.find("rand"), std::string::npos);
+  EXPECT_NE(file.code.find('"'), std::string::npos);
+}
+
+TEST(LintPreprocess, RawStringsAreBlanked) {
+  const SourceFile file =
+      preprocess("f.cpp", "auto s = R\"css(rand() \" unbalanced)css\";\nint z;\n");
+  EXPECT_EQ(file.code.find("rand"), std::string::npos);
+  EXPECT_NE(file.code.find("int z;"), std::string::npos);
+}
+
+TEST(LintPreprocess, NewlinesPreservedForLineNumbers) {
+  const SourceFile file = preprocess("f.cpp", "a\n/* two\nline */\nb\n");
+  EXPECT_EQ(std::count(file.code.begin(), file.code.end(), '\n'), 4);
+}
+
+// ---------------------------------------------------------------------------
+// Symbol index
+// ---------------------------------------------------------------------------
+
+TEST(LintIndex, CollectsDeclarations) {
+  SymbolIndex index;
+  index_symbols(preprocess("f.h",
+                           "std::unordered_map<int, double> lookup_;\n"
+                           "double progress_;\n"
+                           "SimTime deadline;\n"
+                           "enum class Color { kRed, kGreen = 4, kBlue };\n"),
+                index);
+  EXPECT_EQ(index.unordered_vars.count("lookup_"), 1u);
+  EXPECT_EQ(index.double_vars.count("progress_"), 1u);
+  EXPECT_EQ(index.double_vars.count("deadline"), 1u);
+  ASSERT_EQ(index.enums.count("Color"), 1u);
+  EXPECT_EQ(index.enums["Color"].size(), 3u);
+  EXPECT_EQ(index.enums["Color"].count("kGreen"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+TEST(LintRules, UnorderedIterationFlagged) {
+  const auto findings = run_lint(
+      "std::unordered_map<int, int> counts_;\n"
+      "void f() { for (const auto& [k, v] : counts_) { use(k, v); } }\n");
+  EXPECT_EQ(count_rule(findings, "unordered-iteration"), 1u);
+}
+
+TEST(LintRules, OrderedIterationNotFlagged) {
+  const auto findings = run_lint(
+      "std::map<int, int> counts_;\n"
+      "void f() { for (const auto& [k, v] : counts_) { use(k, v); } }\n");
+  EXPECT_EQ(count_rule(findings, "unordered-iteration"), 0u);
+}
+
+TEST(LintRules, UnorderedBeginFlagged) {
+  const auto findings = run_lint(
+      "std::unordered_set<int> seen_;\n"
+      "int f() { return *seen_.begin(); }\n");
+  EXPECT_EQ(count_rule(findings, "unordered-iteration"), 1u);
+}
+
+TEST(LintRules, UnorderedLookupNotFlagged) {
+  const auto findings = run_lint(
+      "std::unordered_map<int, int> counts_;\n"
+      "int f(int k) { return counts_.at(k); }\n");
+  EXPECT_EQ(count_rule(findings, "unordered-iteration"), 0u);
+}
+
+TEST(LintRules, RawRandomFlagged) {
+  const auto findings = run_lint(
+      "int a() { return rand(); }\n"
+      "std::mt19937 gen_;\n"
+      "long b() { return time(nullptr); }\n");
+  EXPECT_EQ(count_rule(findings, "raw-random"), 3u);
+}
+
+TEST(LintRules, RandAsSubstringNotFlagged) {
+  const auto findings = run_lint("int strand_count(); double operand(int rando);\n");
+  EXPECT_EQ(count_rule(findings, "raw-random"), 0u);
+}
+
+TEST(LintRules, PointerOrderFlagged) {
+  const auto findings = run_lint("std::set<Node*> picked_;\nstd::map<int, int> fine_;\n");
+  EXPECT_EQ(count_rule(findings, "pointer-order"), 1u);
+}
+
+TEST(LintRules, FloatEqualityOnVariableFlagged) {
+  const auto findings = run_lint(
+      "double progress_;\n"
+      "bool f() { return progress_ == 1.5; }\n"
+      "bool g(double other) { return progress_ != other; }\n");
+  EXPECT_EQ(count_rule(findings, "float-equality"), 2u);
+}
+
+TEST(LintRules, FloatEqualityUsesHeaderIndex) {
+  const auto findings = run_lint("bool f() { return speed == limit; }\n",
+                                 "double speed; int limit;\n");
+  EXPECT_EQ(count_rule(findings, "float-equality"), 1u);
+}
+
+TEST(LintRules, IteratorEndComparisonNotFlagged) {
+  // `.end()` is a call: its result type is unknowable lexically, even when
+  // some header declares a `double end`.
+  const auto findings = run_lint(
+      "bool f() { auto it = m_.find(k); return it != m_.end(); }\n", "double end;\n");
+  EXPECT_EQ(count_rule(findings, "float-equality"), 0u);
+}
+
+TEST(LintRules, StringComparisonNotFlagged) {
+  const auto findings =
+      run_lint("bool f() { return *value == \"true\" || *value == \"1\"; }\n",
+               "double value;\n");
+  EXPECT_EQ(count_rule(findings, "float-equality"), 0u);
+}
+
+TEST(LintRules, IntegerComparisonNotFlagged) {
+  const auto findings = run_lint("bool f(int a, int b) { return a == b; }\n");
+  EXPECT_EQ(count_rule(findings, "float-equality"), 0u);
+}
+
+TEST(LintRules, NonExhaustiveSwitchFlagged) {
+  const auto findings = run_lint(
+      "enum class Color { kRed, kGreen, kBlue };\n"
+      "int f(Color c) { switch (c) { case Color::kRed: return 1;\n"
+      "case Color::kGreen: return 2; } return 0; }\n");
+  EXPECT_EQ(count_rule(findings, "enum-switch"), 1u);
+}
+
+TEST(LintRules, ExhaustiveSwitchNotFlagged) {
+  const auto findings = run_lint(
+      "enum class Color { kRed, kGreen };\n"
+      "int f(Color c) { switch (c) { case Color::kRed: return 1;\n"
+      "case Color::kGreen: return 2; } return 0; }\n");
+  EXPECT_EQ(count_rule(findings, "enum-switch"), 0u);
+}
+
+TEST(LintRules, DefaultedSwitchNotFlagged) {
+  const auto findings = run_lint(
+      "enum class Color { kRed, kGreen, kBlue };\n"
+      "int f(Color c) { switch (c) { case Color::kRed: return 1;\n"
+      "default: return 0; } }\n");
+  EXPECT_EQ(count_rule(findings, "enum-switch"), 0u);
+}
+
+TEST(LintRules, RuleFilterRestrictsScan) {
+  const std::string fixture =
+      "std::unordered_map<int, int> counts_;\n"
+      "void f() { srand(7); for (const auto& [k, v] : counts_) use(k, v); }\n";
+  const auto only_random = run_lint(fixture, "", {"raw-random"});
+  EXPECT_EQ(count_rule(only_random, "raw-random"), 1u);
+  EXPECT_EQ(count_rule(only_random, "unordered-iteration"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression
+// ---------------------------------------------------------------------------
+
+TEST(LintSuppress, SameLineCommentSuppresses) {
+  const auto findings = run_lint(
+      "int f() { return rand(); }  // elsim-lint: allow(raw-random)\n");
+  ASSERT_EQ(count_rule(findings, "raw-random"), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+TEST(LintSuppress, PrecedingLineCommentSuppresses) {
+  const auto findings = run_lint(
+      "// elsim-lint: allow(raw-random) -- fixture explanation\n"
+      "int f() { return rand(); }\n");
+  ASSERT_EQ(count_rule(findings, "raw-random"), 1u);
+  EXPECT_TRUE(findings[0].suppressed);
+}
+
+TEST(LintSuppress, AllowAllAndListsWork) {
+  const auto findings = run_lint(
+      "std::unordered_map<int, int> counts_;\n"
+      "// elsim-lint: allow(unordered-iteration, raw-random)\n"
+      "void f() { srand(time(nullptr)); for (const auto& [k, v] : counts_) use(k); }\n"
+      "// elsim-lint: allow(all)\n"
+      "int g() { return rand(); }\n");
+  for (const Finding& finding : findings) {
+    EXPECT_TRUE(finding.suppressed) << finding.rule << " at line " << finding.line;
+  }
+}
+
+TEST(LintSuppress, WrongRuleDoesNotSuppress) {
+  const auto findings = run_lint(
+      "// elsim-lint: allow(float-equality)\n"
+      "int f() { return rand(); }\n");
+  ASSERT_EQ(count_rule(findings, "raw-random"), 1u);
+  EXPECT_FALSE(findings[0].suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+TEST(LintReport, JsonSchemaRoundTrips) {
+  auto findings = run_lint(
+      "int f() { return rand(); }  // elsim-lint: allow(raw-random)\n"
+      "std::set<Job*> order_;\n");
+  const json::Value report = json::parse(findings_to_json(findings, 1));
+  EXPECT_EQ(report.member_or("version", std::int64_t(0)), 1);
+  EXPECT_EQ(report.member_or("files_scanned", std::int64_t(0)), 1);
+  EXPECT_EQ(report.member_or("finding_count", std::int64_t(0)), 2);
+  EXPECT_EQ(report.member_or("suppressed_count", std::int64_t(-1)), 1);
+  EXPECT_EQ(report.member_or("unsuppressed_count", std::int64_t(-1)), 1);
+  const json::Value* items = report.find("findings");
+  ASSERT_NE(items, nullptr);
+  ASSERT_EQ(items->as_array().size(), 2u);
+  const json::Value& first = items->as_array()[0];
+  EXPECT_EQ(first.member_or("file", std::string()), "fixture.cpp");
+  EXPECT_EQ(first.member_or("line", std::int64_t(0)), 1);
+  EXPECT_EQ(first.member_or("rule", std::string()), "raw-random");
+  EXPECT_TRUE(first.member_or("suppressed", false));
+  EXPECT_FALSE(first.member_or("message", std::string()).empty());
+  EXPECT_FALSE(first.member_or("snippet", std::string()).empty());
+}
+
+TEST(LintReport, RuleCatalogIsStable) {
+  const std::vector<std::string> expected = {"unordered-iteration", "raw-random",
+                                             "pointer-order", "float-equality",
+                                             "enum-switch"};
+  ASSERT_EQ(rules().size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(rules()[i].name, expected[i]);
+    EXPECT_FALSE(rules()[i].summary.empty());
+  }
+}
+
+}  // namespace
+}  // namespace elsimlint

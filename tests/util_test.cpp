@@ -306,6 +306,15 @@ TEST(Flags, Positional) {
   EXPECT_EQ(flags.positional()[1], "output.csv");
 }
 
+TEST(Flags, BooleanAllowlistKeepsNextTokenPositional) {
+  const char* argv[] = {"prog", "--quiet", "src", "--json", "report.json"};
+  Flags flags(5, argv, {"quiet"});
+  EXPECT_TRUE(flags.get("quiet", false));
+  EXPECT_EQ(flags.get("json", std::string()), "report.json");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "src");
+}
+
 TEST(Flags, FallbacksWhenAbsent) {
   const char* argv[] = {"prog"};
   Flags flags(1, argv);

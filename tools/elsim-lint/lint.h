@@ -1,0 +1,89 @@
+// elsim-lint: project-specific determinism and robustness linter.
+//
+// ElastiSim promises byte-identical output across same-seed runs. The
+// hazards that silently break that promise are lexical enough to catch
+// without a full C++ front end: iterating an unordered container into an
+// output path, drawing entropy outside util::Rng, ordering by pointer
+// value, comparing floats with ==, and switches that silently ignore a
+// newly added enumerator. This library implements a two-pass scan:
+//
+//   pass 1  builds a cross-file symbol index (names declared as unordered
+//           containers, names typed double/float/SimTime, enum class
+//           definitions) over the header files,
+//   pass 2  re-scans each file and applies the rules against the header
+//           index merged with that file's own declarations — locals in one
+//           translation unit never colour name lookups in another.
+//
+// Comments and string literals are blanked before matching, so prose never
+// triggers a rule. Findings can be waived in place with
+//
+//   // elsim-lint: allow(<rule>[, <rule>...])   or   allow(all)
+//
+// on the offending line or the line above. See docs/ANALYSIS.md for the
+// rule catalog and the rationale behind each rule.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace elsimlint {
+
+struct RuleInfo {
+  std::string name;
+  std::string summary;
+};
+
+/// The rule catalog, in report order.
+const std::vector<RuleInfo>& rules();
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+  std::string snippet;  // the trimmed offending source line
+  bool suppressed = false;
+};
+
+/// Cross-file symbol index built by pass 1.
+struct SymbolIndex {
+  /// Variable/member names declared as std::unordered_map / unordered_set.
+  std::set<std::string> unordered_vars;
+  /// Names declared double/float/SimTime (variables, members, parameters,
+  /// and functions returning them).
+  std::set<std::string> double_vars;
+  /// enum class name -> enumerator names.
+  std::map<std::string, std::set<std::string>> enums;
+};
+
+/// One input file after lexical preprocessing.
+struct SourceFile {
+  std::string path;
+  /// Original text, split into lines (for snippets).
+  std::vector<std::string> lines;
+  /// The text with comments and string/char literals blanked to spaces
+  /// (newlines preserved), so rules match code only.
+  std::string code;
+  /// Per-line comment text, for suppression parsing.
+  std::vector<std::string> comments;
+};
+
+/// Lexes `text`: blanks comments, string/char/raw-string literals.
+SourceFile preprocess(std::string path, const std::string& text);
+
+/// Pass 1: accumulates declarations from `file` into `index`.
+void index_symbols(const SourceFile& file, SymbolIndex& index);
+
+/// Pass 2: applies `enabled` rules (empty = all) to `file`, against `index`
+/// merged with the file's own declarations.
+std::vector<Finding> lint_file(const SourceFile& file, const SymbolIndex& index,
+                               const std::set<std::string>& enabled);
+
+/// Machine-readable report (schema documented in docs/ANALYSIS.md).
+std::string findings_to_json(const std::vector<Finding>& findings,
+                             std::size_t files_scanned);
+
+}  // namespace elsimlint

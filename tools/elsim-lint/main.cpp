@@ -1,0 +1,164 @@
+// elsim-lint command-line driver.
+//
+//   elsim-lint [--json <report.json>] [--rules <a,b,...>] [--list-rules]
+//              [--quiet] <file-or-dir>...
+//
+// Scans the given files (directories are walked recursively for C++
+// sources), prints findings as "file:line: [rule] message", and exits
+//   0  no unsuppressed findings,
+//   1  at least one unsuppressed finding,
+//   2  usage or I/O error.
+// --json additionally writes the machine-readable report (schema in
+// docs/ANALYSIS.md) whether or not findings exist.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "elsim-lint/lint.h"
+#include "util/flags.h"
+
+namespace {
+
+bool is_cpp_source(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" || ext == ".hpp";
+}
+
+std::string read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path.string());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // --quiet and --list-rules are presence-only; without the allowlist
+  // "--quiet src" would swallow "src" as the flag's value.
+  elastisim::util::Flags flags(argc, argv, {"quiet", "list-rules"});
+
+  if (flags.get("list-rules", false)) {
+    for (const elsimlint::RuleInfo& rule : elsimlint::rules()) {
+      std::printf("%-20s %s\n", rule.name.c_str(), rule.summary.c_str());
+    }
+    return 0;
+  }
+
+  std::set<std::string> enabled;
+  const std::string rule_list = flags.get("rules", std::string());
+  if (!rule_list.empty() && rule_list != "true") {
+    std::size_t start = 0;
+    while (start <= rule_list.size()) {
+      std::size_t comma = rule_list.find(',', start);
+      if (comma == std::string::npos) comma = rule_list.size();
+      const std::string name = rule_list.substr(start, comma - start);
+      if (!name.empty()) {
+        const auto& catalog = elsimlint::rules();
+        const bool known =
+            std::any_of(catalog.begin(), catalog.end(),
+                        [&name](const elsimlint::RuleInfo& r) { return r.name == name; });
+        if (!known) {
+          std::fprintf(stderr, "error: unknown rule '%s' (--list-rules shows the catalog)\n",
+                       name.c_str());
+          return 2;
+        }
+        enabled.insert(name);
+      }
+      start = comma + 1;
+    }
+  }
+
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "usage: %s [--json <report.json>] [--rules <a,b,...>] [--list-rules]\n"
+                 "       [--quiet] <file-or-dir>...\n",
+                 flags.program().c_str());
+    return 2;
+  }
+
+  // Collect the worklist, sorted so findings (and the JSON report) are
+  // ordered identically on every run and filesystem.
+  std::vector<std::filesystem::path> sources;
+  try {
+    for (const std::string& target : flags.positional()) {
+      const std::filesystem::path path(target);
+      if (std::filesystem::is_directory(path)) {
+        for (const auto& entry : std::filesystem::recursive_directory_iterator(path)) {
+          if (entry.is_regular_file() && is_cpp_source(entry.path())) {
+            sources.push_back(entry.path());
+          }
+        }
+      } else if (std::filesystem::is_regular_file(path)) {
+        sources.push_back(path);
+      } else {
+        std::fprintf(stderr, "error: no such file or directory: %s\n", target.c_str());
+        return 2;
+      }
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+
+  try {
+    // Pass 1: lex everything once. Only headers feed the shared symbol
+    // index — declarations local to one .cpp are merged back in by
+    // lint_file for that file alone, so a `double end` in one translation
+    // unit cannot colour name lookups in another.
+    std::vector<elsimlint::SourceFile> files;
+    files.reserve(sources.size());
+    elsimlint::SymbolIndex index;
+    for (const std::filesystem::path& path : sources) {
+      files.push_back(elsimlint::preprocess(path.generic_string(), read_file(path)));
+      const std::string ext = path.extension().string();
+      if (ext == ".h" || ext == ".hpp") elsimlint::index_symbols(files.back(), index);
+    }
+
+    // Pass 2: apply the rules.
+    std::vector<elsimlint::Finding> findings;
+    for (const elsimlint::SourceFile& file : files) {
+      std::vector<elsimlint::Finding> batch = elsimlint::lint_file(file, index, enabled);
+      findings.insert(findings.end(), std::make_move_iterator(batch.begin()),
+                      std::make_move_iterator(batch.end()));
+    }
+
+    const bool quiet = flags.get("quiet", false);
+    std::size_t unsuppressed = 0;
+    for (const elsimlint::Finding& finding : findings) {
+      if (finding.suppressed) continue;
+      ++unsuppressed;
+      if (!quiet) {
+        std::printf("%s:%zu: [%s] %s\n    %s\n", finding.file.c_str(), finding.line,
+                    finding.rule.c_str(), finding.message.c_str(), finding.snippet.c_str());
+      }
+    }
+
+    const std::string json_path = flags.get("json", std::string());
+    if (!json_path.empty() && json_path != "true") {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+      out << elsimlint::findings_to_json(findings, files.size()) << "\n";
+    }
+
+    if (!quiet) {
+      std::printf("%zu files scanned, %zu findings (%zu suppressed)\n", files.size(),
+                  findings.size(), findings.size() - unsuppressed);
+    }
+    return unsuppressed == 0 ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+}
