@@ -11,15 +11,27 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "core/simulation.h"
 #include "json/json.h"
 #include "platform/cluster.h"
 #include "stats/journal.h"
+#include "stats/profiler.h"
 #include "stats/state_sampler.h"
 #include "stats/telemetry.h"
 #include "workload/generator.h"
 
 namespace elastisim::bench {
+
+namespace detail {
+/// Event-queue high-water mark across every bench::run() in this process —
+/// the capacity figure the TelemetryScope summary reports next to peak RSS.
+inline std::uint64_t& queue_high_water() {
+  static std::uint64_t mark = 0;
+  return mark;
+}
+}  // namespace detail
 
 /// The reference cluster used across experiments: 128 nodes, 48 x 2 GF cores,
 /// 12.5 GB/s injection links, fat-tree pods of 16 with 100 GB/s uplinks, and
@@ -98,6 +110,7 @@ inline core::SimulationResult run(const platform::ClusterConfig& platform,
   if (!timeseries_dir().empty()) config.sampler = &sampler;
   const double wall_begin = telemetry::enabled() ? telemetry::wall_now() : 0.0;
   core::SimulationResult result = core::run_simulation(config, std::move(jobs));
+  detail::queue_high_water() = std::max(detail::queue_high_water(), result.queue_peak);
   if (config.sampler) {
     // Numbered like the journals: <dir>/<scheduler>.<n>.timeseries.csv.
     static int sample_index = 0;
@@ -167,6 +180,8 @@ class TelemetryScope {
     out["wall_seconds"] = wall;
     out["events"] = static_cast<std::int64_t>(events);
     out["events_per_second"] = wall > 0.0 ? static_cast<double>(events) / wall : 0.0;
+    out["peak_rss_bytes"] = static_cast<std::int64_t>(stats::profiler::peak_rss_bytes());
+    out["queue_peak"] = static_cast<std::int64_t>(detail::queue_high_water());
     out["registry"] = registry.to_json();
     try {
       std::filesystem::create_directories(dir_);

@@ -1,0 +1,134 @@
+// perf_trajectory — the committed performance-trajectory harness.
+//
+// Runs a fixed scenario grid (job scales x schedulers, pinned seeds, the
+// reference 128-node platform) with the self-profiler enabled and writes
+// BENCH_perf.json: one cell per (jobs, scheduler) with events/sec, wall
+// seconds per 10k jobs, peak RSS, and the top-3 phases by exclusive time,
+// under a build-provenance header (docs/FORMATS.md, elastisim-bench-perf-v1).
+//
+//   perf_trajectory [--out BENCH_perf.json] [--quick]
+//
+// The committed BENCH_perf.json at the repo root is regenerated with the
+// default grid; --quick shrinks the scales for the ctest smoke and the CI
+// perf job. Compare two trajectory files with tools/perf-compare.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "stats/profiler.h"
+#include "util/flags.h"
+#include "workload/generator.h"
+
+using namespace elastisim;
+
+namespace {
+
+struct Cell {
+  std::size_t jobs;
+  std::string scheduler;
+};
+
+/// Top-N phases by exclusive seconds, name-tiebroken for determinism.
+json::Value top_phases_json(std::size_t top_n) {
+  struct Row {
+    const char* name;
+    double exclusive_s;
+  };
+  std::vector<Row> rows;
+  const auto& profiler = stats::profiler::Profiler::global();
+  for (int i = 0; i < stats::profiler::kPhaseCount; ++i) {
+    const auto phase = static_cast<stats::profiler::Phase>(i);
+    rows.push_back({stats::profiler::phase_name(phase),
+                    profiler.stats(phase).exclusive_s});
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    // elsim-lint: allow(float-equality) -- exact-tie fallback to name ordering
+    if (a.exclusive_s != b.exclusive_s) return a.exclusive_s > b.exclusive_s;
+    return std::string_view(a.name) < std::string_view(b.name);
+  });
+  json::Array out;
+  for (std::size_t i = 0; i < std::min(top_n, rows.size()); ++i) {
+    json::Object entry;
+    entry["name"] = std::string(rows[i].name);
+    entry["exclusive_s"] = rows[i].exclusive_s;
+    out.push_back(json::Value(std::move(entry)));
+  }
+  return json::Value(std::move(out));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const bool quick = flags.get("quick", false);
+  const std::string out_path = flags.get("out", std::string("BENCH_perf.json"));
+
+  // The pinned grid. Scales are chosen so the full run finishes in under a
+  // minute on a laptop while still spanning a 25x event-count range; --quick
+  // keeps two scales per scheduler (the monotonicity smoke needs >= 2).
+  const std::vector<std::size_t> scales =
+      quick ? std::vector<std::size_t>{500, 2000}
+            : std::vector<std::size_t>{2000, 10000, 50000};
+  const std::vector<std::string> schedulers = {"easy-malleable", "fcfs"};
+  constexpr std::uint64_t kSeed = 42;
+  constexpr double kMalleableFraction = 0.5;
+
+  const platform::ClusterConfig platform = bench::reference_platform(128);
+
+  json::Array cells;
+  for (const std::string& scheduler : schedulers) {
+    for (std::size_t jobs : scales) {
+      // Fresh profiled window per cell; enabling resets the accumulators.
+      stats::profiler::set_enabled(true);
+      auto generator = bench::reference_workload(kMalleableFraction, jobs, kSeed);
+      const core::SimulationResult result =
+          bench::run(platform, scheduler, workload::generate_workload(generator));
+      stats::profiler::set_enabled(false);
+
+      const double events_per_second =
+          result.wall_seconds > 0.0
+              ? static_cast<double>(result.events_processed) / result.wall_seconds
+              : 0.0;
+      json::Object cell;
+      cell["jobs"] = jobs;
+      cell["scheduler"] = scheduler;
+      cell["events"] = result.events_processed;
+      cell["wall_s"] = result.wall_seconds;
+      cell["events_per_second"] = events_per_second;
+      cell["wall_s_per_10k_jobs"] =
+          result.wall_seconds * 10000.0 / static_cast<double>(jobs);
+      // Process-wide and monotone across cells: the last cell of each scale
+      // column carries the honest high-water figure.
+      cell["peak_rss_bytes"] = result.peak_rss_bytes;
+      cell["queue_peak"] = result.queue_peak;
+      cell["rebalances"] = result.rebalances;
+      cell["scheduler_invocations"] = result.scheduler_invocations;
+      cell["top_phases"] = top_phases_json(3);
+      cells.push_back(json::Value(std::move(cell)));
+
+      std::printf("%-16s %6zu jobs: %9llu events, %7.3f s, %10.0f events/s\n",
+                  scheduler.c_str(), jobs,
+                  static_cast<unsigned long long>(result.events_processed),
+                  result.wall_seconds, events_per_second);
+      if (result.stuck > 0 || result.finished + result.killed != result.submitted) {
+        std::fprintf(stderr, "error: cell (%zu, %s) left %zu jobs unfinished\n", jobs,
+                     scheduler.c_str(), result.stuck);
+        return 1;
+      }
+    }
+  }
+
+  json::Object out;
+  out["schema"] = std::string("elastisim-bench-perf-v1");
+  out["build"] = stats::profiler::build_info_json();
+  out["quick"] = quick;
+  out["platform_nodes"] = std::size_t{128};
+  out["seed"] = kSeed;
+  out["malleable_fraction"] = kMalleableFraction;
+  out["cells"] = json::Value(std::move(cells));
+  json::write_file(out_path, json::Value(std::move(out)));
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -23,6 +23,11 @@
 //   elastisim inspect --job <id> <journal>    why a job waited
 //   elastisim inspect --diff <a> <b>          first divergent decision
 //   elastisim report <out-dir>                self-contained report.html
+//   elastisim profile <profile.json>          phase table for a --profile run
+//
+// --profile <file.json> (or ELSIM_PROFILE=<path>, ELSIM_PROFILE=1 for
+// <out-dir>/profile.json) runs the self-profiler: hierarchical phase wall
+// times plus work-metric counters, written as deterministic-schema JSON.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -33,6 +38,7 @@
 #include <optional>
 
 #include "cli/inspect.h"
+#include "cli/profile.h"
 #include "cli/report.h"
 #include "core/fault_injector.h"
 #include "core/invariant_checker.h"
@@ -40,6 +46,7 @@
 #include "json/json.h"
 #include "stats/chrome_trace.h"
 #include "stats/journal.h"
+#include "stats/profiler.h"
 #include "stats/state_sampler.h"
 #include "stats/telemetry.h"
 #include "stats/trace.h"
@@ -61,10 +68,11 @@ void usage(const char* program) {
                "          [--out-dir <dir>] [--trace] [--telemetry]\n"
                "          [--timeseries] [--sample-interval <seconds>]\n"
                "          [--chrome-trace <file.json>] [--journal <file.jsonl>]\n"
-               "          [--validate] [--log <level>]\n"
+               "          [--profile <file.json>] [--validate] [--log <level>]\n"
                "   or: %s inspect --job <id> <journal.jsonl>\n"
                "   or: %s inspect --diff <a.jsonl> <b.jsonl>\n"
                "   or: %s report <out-dir> [--out <report.html>]\n"
+               "   or: %s profile <profile.json> [--top <n>]\n"
                "failures: [--mtbf <duration>] [--failure-dist exponential|weibull]\n"
                "          [--weibull-shape <k>] [--repair <duration>]\n"
                "          [--repair-dist constant|lognormal] [--repair-sigma <s>]\n"
@@ -74,7 +82,7 @@ void usage(const char* program) {
                "          [--failure-policy kill|requeue|requeue-restart]\n"
                "          [--restart-overhead <duration>] [--max-requeues <n>]\n\n"
                "schedulers:",
-               program, program, program, program);
+               program, program, program, program, program);
   for (const std::string& name : core::scheduler_names()) {
     std::fprintf(stderr, " %s", name.c_str());
   }
@@ -127,6 +135,9 @@ int main(int argc, char** argv) {
   if (!flags.positional().empty() && flags.positional().front() == "report") {
     return cli::run_report(flags);
   }
+  if (!flags.positional().empty() && flags.positional().front() == "profile") {
+    return cli::run_profile(flags);
+  }
 
   const std::string platform_path = flags.get("platform", std::string());
   const std::string workload_path = flags.get("workload", std::string());
@@ -136,7 +147,39 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --profile <file.json> / ELSIM_PROFILE env (a path, or "1" for
+  // <out-dir>/profile.json): self-profiler, enabled before any work so the
+  // setup phase covers config parsing and workload generation too.
+  std::string profile_path = flags.get("profile", std::string());
+  if (flags.has("profile") && (profile_path.empty() || profile_path == "true")) {
+    std::fprintf(stderr, "error: --profile requires a file path\n");
+    usage(argv[0]);
+    return 2;
+  }
+  if (profile_path.empty()) {
+    const char* env = std::getenv("ELSIM_PROFILE");
+    if (env != nullptr && *env != '\0' && std::string(env) != "0") {
+      profile_path = std::string(env) == "1"
+                         ? flags.get("out-dir", std::string("results")) + "/profile.json"
+                         : std::string(env);
+    }
+  }
+  const bool want_profile = !profile_path.empty();
+  if (want_profile) {
+    if (!stats::profiler::compiled()) {
+      std::fprintf(stderr,
+                   "warning: this build compiled the profiler out (ELSIM_NO_PROFILER); "
+                   "%s will contain zero phase times\n",
+                   profile_path.c_str());
+    }
+    stats::profiler::set_enabled(true);
+  }
+
   try {
+    // Everything up to job submission bills to the "setup" phase; the scope
+    // closes just before the event loop starts.
+    std::optional<stats::profiler::ScopedPhase> setup_scope(
+        std::in_place, stats::profiler::Phase::kSetup);
     core::SimulationConfig config;
     config.platform = platform::load_cluster_config(platform_path);
     config.scheduler = flags.get("scheduler", std::string("easy-malleable"));
@@ -282,6 +325,7 @@ int main(int argc, char** argv) {
       }
       core::FaultInjector::apply(batch, failures);
       result.submitted = batch.submit_all(std::move(jobs));
+      setup_scope.reset();
       const auto wall_begin = std::chrono::steady_clock::now();
       engine.run();
       result.wall_seconds =
@@ -292,12 +336,22 @@ int main(int argc, char** argv) {
       result.stuck = batch.queued_jobs() + batch.running_jobs();
       result.makespan = result.recorder.makespan();
       result.events_processed = engine.events_processed();
+      result.rebalances = engine.fluid().rebalance_count();
+      result.queue_pushes = engine.queue().pushes();
+      result.queue_pops = engine.queue().pops();
+      result.queue_peak = engine.queue().peak_size();
+      result.activities_touched = engine.fluid().activities_touched();
+      result.activities_started = engine.fluid().activities_started();
+      result.scheduler_invocations = batch.scheduler_invocations();
+      result.scheduler_rounds = batch.scheduler_rounds();
       if (result.stuck > 0) stuck_ids = batch.unfinished_job_ids();
       if (want_validate) {
         std::printf("validated %llu scheduling points, %llu events: all invariants hold\n",
                     static_cast<unsigned long long>(checker.scheduling_point_checks()),
                     static_cast<unsigned long long>(checker.events_checked()));
       }
+      // Everything from here on is artifact writing, billed to "output".
+      ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kOutput);
       if (want_trace) {
         std::filesystem::create_directories(out_dir);
         std::ofstream trace_csv(out_dir + "/trace.csv");
@@ -343,6 +397,7 @@ int main(int argc, char** argv) {
 
     std::filesystem::create_directories(out_dir);
     {
+      ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kOutput);
       std::ofstream jobs_csv(out_dir + "/jobs.csv");
       result.recorder.write_jobs_csv(jobs_csv);
       std::ofstream timeline_csv(out_dir + "/timeline.csv");
@@ -352,6 +407,19 @@ int main(int argc, char** argv) {
         json::write_file(out_dir + "/telemetry.json",
                          telemetry::Registry::global().to_json());
       }
+    }
+
+    // The profile is written last so its window covers every other artifact;
+    // the write itself is the only work it cannot see.
+    if (want_profile) {
+      core::record_profile_counters(result, config.scheduler);
+      const std::filesystem::path parent =
+          std::filesystem::path(profile_path).parent_path();
+      if (!parent.empty()) std::filesystem::create_directories(parent);
+      auto& profiler = stats::profiler::Profiler::global();
+      json::write_file(profile_path, profiler.report());
+      std::printf("wrote profile (%.3f s window) to %s\n", profiler.window_s(),
+                  profile_path.c_str());
     }
 
     std::printf("\n%s\n", json::dump_pretty(summary_json(result, config)).c_str());

@@ -1,0 +1,133 @@
+#include "cli/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "util/flags.h"
+
+namespace elastisim::cli {
+
+namespace {
+
+struct PhaseRow {
+  std::string name;
+  std::uint64_t calls = 0;
+  double inclusive_s = 0.0;
+  double exclusive_s = 0.0;
+};
+
+std::string human_bytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 4) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1f %s", bytes, units[unit]);
+  return buffer;
+}
+
+/// A 24-cell percent bar: '#' per full ~4.17%, '-' padding.
+std::string percent_bar(double fraction) {
+  constexpr int kWidth = 24;
+  int filled = static_cast<int>(fraction * kWidth + 0.5);
+  filled = std::clamp(filled, fraction > 0.0 ? 1 : 0, kWidth);
+  return std::string(static_cast<std::size_t>(filled), '#') +
+         std::string(static_cast<std::size_t>(kWidth - filled), '-');
+}
+
+}  // namespace
+
+int run_profile(const util::Flags& flags) {
+  const auto& positional = flags.positional();
+  if (positional.size() != 2) {  // "profile" <file>
+    std::fprintf(stderr, "usage: %s profile <profile.json> [--top <n>]\n",
+                 flags.program().c_str());
+    return 2;
+  }
+  const std::string& path = positional[1];
+  const auto top = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get("top", std::int64_t{16})));
+
+  json::Value root;
+  try {
+    root = json::parse_file(path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: cannot read %s: %s\n", path.c_str(), error.what());
+    return 1;
+  }
+  const std::string schema = root.member_or("schema", "");
+  if (schema != "elastisim-profile-v1") {
+    std::fprintf(stderr, "error: %s: unexpected schema \"%s\" (want elastisim-profile-v1)\n",
+                 path.c_str(), schema.c_str());
+    return 1;
+  }
+  const json::Value* phases = root.find("phases");
+  if (!phases || !phases->is_array()) {
+    std::fprintf(stderr, "error: %s: missing \"phases\" array\n", path.c_str());
+    return 1;
+  }
+
+  std::vector<PhaseRow> rows;
+  for (const json::Value& entry : phases->as_array()) {
+    PhaseRow row;
+    row.name = entry.member_or("name", "?");
+    row.calls = static_cast<std::uint64_t>(entry.member_or("calls", std::int64_t{0}));
+    row.inclusive_s = entry.member_or("inclusive_s", 0.0);
+    row.exclusive_s = entry.member_or("exclusive_s", 0.0);
+    rows.push_back(std::move(row));
+  }
+  // Most expensive first; ties broken by name so the table is deterministic.
+  std::stable_sort(rows.begin(), rows.end(), [](const PhaseRow& a, const PhaseRow& b) {
+    // elsim-lint: allow(float-equality) -- exact-tie fallback to name ordering
+    if (a.exclusive_s != b.exclusive_s) return a.exclusive_s > b.exclusive_s;
+    return a.name < b.name;
+  });
+
+  const double wall_s = root.member_or("wall_s", 0.0);
+  double covered_s = 0.0;
+  for (const PhaseRow& row : rows) covered_s += row.exclusive_s;
+
+  std::printf("profile: %s\n", path.c_str());
+  if (const json::Value* build = root.find("build")) {
+    std::printf("build: %s, %s%s\n", build->member_or("compiler", "?").c_str(),
+                build->member_or("build_type", "?").c_str(),
+                build->member_or("profiler_compiled", true) ? "" : " (profiler compiled out)");
+    const std::string build_flags = build->member_or("flags", "");
+    if (!build_flags.empty()) std::printf("flags: %s\n", build_flags.c_str());
+  }
+  std::printf("wall %.3f s, phases cover %.3f s (%.1f%%), peak rss %s\n\n", wall_s,
+              covered_s, wall_s > 0.0 ? 100.0 * covered_s / wall_s : 0.0,
+              human_bytes(root.member_or("peak_rss_bytes", 0.0)).c_str());
+
+  std::printf("%-16s %12s %10s %10s %6s  %s\n", "phase", "calls", "incl(s)", "excl(s)",
+              "excl%", "of wall");
+  const std::size_t shown = std::min(top, rows.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const PhaseRow& row = rows[i];
+    const double fraction = wall_s > 0.0 ? row.exclusive_s / wall_s : 0.0;
+    std::printf("%-16s %12llu %10.4f %10.4f %5.1f%%  %s\n", row.name.c_str(),
+                static_cast<unsigned long long>(row.calls), row.inclusive_s,
+                row.exclusive_s, 100.0 * fraction, percent_bar(fraction).c_str());
+  }
+  if (rows.size() > shown) {
+    std::printf("(%zu more phases; rerun with --top %zu)\n", rows.size() - shown,
+                rows.size());
+  }
+
+  if (const json::Value* counters = root.find("counters");
+      counters && counters->is_object() && !counters->as_object().empty()) {
+    std::printf("\ncounters:\n");
+    for (const auto& [name, value] : counters->as_object()) {
+      std::printf("  %-32s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value.get_or(std::int64_t{0})));
+    }
+  }
+  return 0;
+}
+
+}  // namespace elastisim::cli

@@ -1,0 +1,21 @@
+// `elastisim profile` — offline pretty-printer for profile.json files
+// written with --profile (see docs/CLI.md):
+//
+//   elastisim profile <profile.json> [--top <n>]
+//
+// Renders the build header, the phase table (calls, inclusive/exclusive wall
+// seconds, exclusive share of the profiled window with a percent bar), and
+// the work-metric counters.
+#pragma once
+
+namespace elastisim::util {
+class Flags;
+}
+
+namespace elastisim::cli {
+
+/// Returns the process exit code: 0 on success, 1 on unreadable or malformed
+/// input, 2 on bad usage.
+int run_profile(const util::Flags& flags);
+
+}  // namespace elastisim::cli

@@ -6,6 +6,7 @@
 
 #include "core/invariant_checker.h"
 #include "stats/chrome_trace.h"
+#include "stats/profiler.h"
 #include "stats/state_sampler.h"
 #include "stats/telemetry.h"
 #include "util/fmt.h"
@@ -552,6 +553,7 @@ bool BatchSystem::inject_failure(platform::NodeId node, double fail_time,
 }
 
 void BatchSystem::fail_node(platform::NodeId node, double repair_time) {
+  ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kFault);
   if (failed_nodes_.count(node)) {
     // Double failure while a repair is pending: extend the outage window so
     // the earlier repair event cannot return a still-broken node to service.
@@ -585,6 +587,7 @@ void BatchSystem::fail_node(platform::NodeId node, double repair_time) {
 }
 
 void BatchSystem::restore_node(platform::NodeId node) {
+  ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kFault);
   auto repair_it = repair_until_.find(node);
   if (repair_it != repair_until_.end() && engine_->now() < repair_it->second) {
     return;  // a later-injected outage still covers this node
@@ -614,6 +617,7 @@ void BatchSystem::drain_node(platform::NodeId node, double when, double until) {
 }
 
 void BatchSystem::start_drain(platform::NodeId node) {
+  ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kFault);
   if (drained_nodes_.count(node) || drain_pending_.count(node)) return;
   if (free_nodes_.erase(node) > 0) {
     drained_nodes_.insert(node);
@@ -626,6 +630,7 @@ void BatchSystem::start_drain(platform::NodeId node) {
 }
 
 void BatchSystem::undrain_node(platform::NodeId node) {
+  ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kFault);
   if (drain_pending_.erase(node) > 0) return;  // never left service
   if (drain_on_repair_.erase(node) > 0) return;  // still failed; repair frees it
   if (drained_nodes_.erase(node) == 0) return;
@@ -736,34 +741,42 @@ void BatchSystem::invoke_scheduler(stats::JournalCause cause) {
                     static_cast<int>(running_order_.size()), free_nodes(), total_nodes());
   }
   int rounds = 0;
-  do {
-    rerun_scheduler_ = false;
-    rebuild_views();
-    scheduler_->schedule(*this);
-    if (++rounds > 1000) {
-      ELSIM_ERROR("scheduler did not converge after 1000 rounds at t={}; giving up",
-                  engine_->now());
-      break;
-    }
-  } while (rerun_scheduler_);
-  if (journal_) {
-    // Guarantee a verdict for every job left in the queue: schedulers that
-    // never call explain() (custom policies) still yield a non-empty reason.
-    for (JobId id : queue_order_) {
-      if (!journal_->has_held_verdict(id)) {
-        journal_->add({id, stats::VerdictAction::kHeld, stats::HoldReason::kNotConsidered,
-                       0, 0, std::string()});
+  {
+    ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kScheduler);
+    do {
+      rerun_scheduler_ = false;
+      rebuild_views();
+      scheduler_->schedule(*this);
+      if (++rounds > 1000) {
+        ELSIM_ERROR("scheduler did not converge after 1000 rounds at t={}; giving up",
+                    engine_->now());
+        break;
       }
+    } while (rerun_scheduler_);
+  }
+  ++scheduler_invocations_;
+  scheduler_rounds_ += static_cast<std::uint64_t>(rounds);
+  {
+    ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kSinks);
+    if (journal_) {
+      // Guarantee a verdict for every job left in the queue: schedulers that
+      // never call explain() (custom policies) still yield a non-empty reason.
+      for (JobId id : queue_order_) {
+        if (!journal_->has_held_verdict(id)) {
+          journal_->add({id, stats::VerdictAction::kHeld,
+                         stats::HoldReason::kNotConsidered, 0, 0, std::string()});
+        }
+      }
+      journal_->commit();
     }
-    journal_->commit();
+    chrome_counters();
+    if (sampler_) sample_state();
   }
   if (telemetry_on) {
     decision_hist_->record(telemetry::wall_now() - wall_begin);
     invocations_->add();
     rounds_->add(static_cast<std::uint64_t>(rounds));
   }
-  chrome_counters();
-  if (sampler_) sample_state();
   if (checker_) checker_->on_scheduling_point_end(*this);
   in_scheduler_ = false;
 }

@@ -174,6 +174,12 @@ class BatchSystem final : public SchedulerContext {
   std::size_t running_jobs() const { return running_order_.size(); }
   Scheduler& scheduler_algorithm() { return *scheduler_; }
 
+  /// Scheduling points executed and scheduler passes inside them (the
+  /// "resolve count per scheduling point" profiler metric; always counted,
+  /// telemetry on or off).
+  std::uint64_t scheduler_invocations() const { return scheduler_invocations_; }
+  std::uint64_t scheduler_rounds() const { return scheduler_rounds_; }
+
   /// Concrete nodes a job currently occupies (empty when not running).
   std::vector<platform::NodeId> nodes_of(workload::JobId id) const;
 
@@ -331,6 +337,8 @@ class BatchSystem final : public SchedulerContext {
   std::size_t cancelled_ = 0;
   std::size_t held_ = 0;
   std::size_t requeues_ = 0;
+  std::uint64_t scheduler_invocations_ = 0;
+  std::uint64_t scheduler_rounds_ = 0;
   std::size_t unfinished_ = 0;  // queued + running; timer stops at zero
 
   bool in_scheduler_ = false;

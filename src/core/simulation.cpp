@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "core/invariant_checker.h"
+#include "stats/profiler.h"
 #include "util/fmt.h"
 
 namespace elastisim::core {
@@ -54,7 +55,30 @@ SimulationResult run_simulation(const SimulationConfig& config,
   result.wall_seconds = std::chrono::duration<double>(wall_end - wall_begin).count();
   result.events_processed = engine.events_processed();
   result.rebalances = engine.fluid().rebalance_count();
+  result.queue_pushes = engine.queue().pushes();
+  result.queue_pops = engine.queue().pops();
+  result.queue_peak = engine.queue().peak_size();
+  result.activities_touched = engine.fluid().activities_touched();
+  result.activities_started = engine.fluid().activities_started();
+  result.scheduler_invocations = batch.scheduler_invocations();
+  result.scheduler_rounds = batch.scheduler_rounds();
+  result.peak_rss_bytes = stats::profiler::peak_rss_bytes();
   return result;
+}
+
+void record_profile_counters(const SimulationResult& result, const std::string& scheduler) {
+  if (!stats::profiler::enabled()) return;
+  auto& profiler = stats::profiler::Profiler::global();
+  profiler.set_counter("engine.events", result.events_processed);
+  profiler.set_counter("queue.pushes", result.queue_pushes);
+  profiler.set_counter("queue.pops", result.queue_pops);
+  profiler.set_counter("queue.peak", result.queue_peak);
+  profiler.set_counter("fluid.solves", result.rebalances);
+  profiler.set_counter("fluid.activities_touched", result.activities_touched);
+  profiler.set_counter("fluid.activities_started", result.activities_started);
+  profiler.set_counter("scheduler." + scheduler + ".invocations",
+                       result.scheduler_invocations);
+  profiler.set_counter("scheduler." + scheduler + ".rounds", result.scheduler_rounds);
 }
 
 }  // namespace elastisim::core

@@ -45,10 +45,32 @@ struct SimulationResult {
   double wall_seconds = 0.0;
   std::uint64_t events_processed = 0;
   std::uint64_t rebalances = 0;
+  // Work metrics for the profiler and the perf-trajectory benches (always
+  // collected; the counters behind them are branch-free increments).
+  std::uint64_t queue_pushes = 0;
+  std::uint64_t queue_pops = 0;
+  /// High-water mark of the live event count.
+  std::uint64_t queue_peak = 0;
+  /// Cumulative activities examined across fluid solves (divide by
+  /// `rebalances` for the mean solve width).
+  std::uint64_t activities_touched = 0;
+  std::uint64_t activities_started = 0;
+  std::uint64_t scheduler_invocations = 0;
+  std::uint64_t scheduler_rounds = 0;
+  /// Process-wide peak RSS in bytes at the end of the run (monotone across
+  /// runs in one process).
+  std::uint64_t peak_rss_bytes = 0;
 };
 
 /// Runs `jobs` on the configured platform under the configured scheduler.
 /// Throws std::runtime_error for an unknown scheduler name.
 SimulationResult run_simulation(const SimulationConfig& config, std::vector<workload::Job> jobs);
+
+/// Copies a finished run's work metrics into the global profiler's counter
+/// set in the documented fixed order (docs/FORMATS.md): events, event-queue
+/// push/pop/peak totals, fluid solve counts and widths, allocation tallies,
+/// and the per-policy scheduler invocation/round counts. No-op when the
+/// profiler is disabled.
+void record_profile_counters(const SimulationResult& result, const std::string& scheduler);
 
 }  // namespace elastisim::core

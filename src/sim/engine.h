@@ -55,6 +55,10 @@ class Engine {
   /// Number of live pending events.
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Read access to the queue's lifetime tallies (pushes/pops/peak size) for
+  /// the profiler and the perf-trajectory benches.
+  const EventQueue& queue() const { return queue_; }
+
   /// Installs a validation hook called after every dispatched event with the
   /// current simulated time (core::InvariantChecker under --validate). Pass
   /// an empty function to remove; costs one branch per event when absent.

@@ -9,7 +9,7 @@ EventId EventQueue::push(SimTime when, Callback callback) {
   const EventId id = next_id_++;
   heap_.push(Entry{when, next_seq_++, id});
   callbacks_.emplace(id, std::move(callback));
-  ++live_count_;
+  if (++live_count_ > peak_size_) peak_size_ = live_count_;
   return id;
 }
 
@@ -40,6 +40,7 @@ std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
   Callback callback = std::move(it->second);
   callbacks_.erase(it);
   --live_count_;
+  ++pops_;
   return {entry.time, std::move(callback)};
 }
 

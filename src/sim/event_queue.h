@@ -39,6 +39,19 @@ class EventQueue {
   /// Number of live (non-cancelled, non-fired) events.
   std::size_t size() const { return live_count_; }
 
+  // Lifetime tallies for the profiler and the perf-trajectory benches; kept
+  // always-on (one increment / compare per operation, negligible next to the
+  // heap work they count).
+
+  /// Total events ever enqueued.
+  std::uint64_t pushes() const { return next_id_ - 1; }
+
+  /// Total live events ever popped (cancellations excluded).
+  std::uint64_t pops() const { return pops_; }
+
+  /// High-water mark of the live event count.
+  std::size_t peak_size() const { return peak_size_; }
+
   /// Time of the earliest live event; kTimeInfinity when empty.
   SimTime next_time();
 
@@ -65,6 +78,8 @@ class EventQueue {
   std::uint64_t next_seq_ = 1;
   EventId next_id_ = 1;
   std::size_t live_count_ = 0;
+  std::size_t peak_size_ = 0;
+  std::uint64_t pops_ = 0;
 };
 
 }  // namespace elastisim::sim

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "sim/engine.h"
+#include "stats/profiler.h"
 #include "stats/telemetry.h"
 #include "util/fmt.h"
 #include "util/log.h"
@@ -143,6 +144,11 @@ std::optional<std::string> FluidModel::check_invariants() const {
 }
 
 void FluidModel::settle() {
+  // Deliberately unscoped: settle runs ~once per solve and its own time is a
+  // fraction of a percent of a run, so a scope here would cost more than the
+  // attribution is worth. Settle time bills to the enclosing phase (usually
+  // fluid.solve or engine.dispatch); Phase::kFluidSettle stays in the schema
+  // for call sites that want to opt a hot path back in.
   const SimTime now = engine_->now();
   const double elapsed = now - last_settle_;
   if (elapsed > 0.0) {
@@ -155,7 +161,9 @@ void FluidModel::settle() {
 }
 
 void FluidModel::rebalance() {
+  ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kFluidSolve);
   ++rebalance_count_;
+  activities_touched_ += order_.size();
   if (telemetry::enabled() && !rebalance_hist_) {
     rebalance_hist_ = &telemetry::Registry::global().histogram("fluid.rebalance_seconds");
   }

@@ -103,6 +103,14 @@ class FluidModel {
   /// Number of rate recomputations performed (for performance benches).
   std::uint64_t rebalance_count() const { return rebalance_count_; }
 
+  /// Cumulative activities examined across all rebalances — the work metric
+  /// behind the "make the solve incremental" optimization: divide by
+  /// rebalance_count() for the mean activities touched per solve.
+  std::uint64_t activities_touched() const { return activities_touched_; }
+
+  /// Total activities ever started (allocation tally for the profiler).
+  std::uint64_t activities_started() const { return next_activity_id_ - 1; }
+
   /// Validates internal consistency: every activity's remaining work within
   /// [0, total work] (progress in [0, 1]), rates non-negative, finite, and
   /// within their caps, and per-resource consumption within capacity.
@@ -139,6 +147,7 @@ class FluidModel {
   ActivityId next_activity_id_ = 1;
   SimTime last_settle_ = 0.0;
   std::uint64_t rebalance_count_ = 0;
+  std::uint64_t activities_touched_ = 0;
   /// Telemetry sink for rebalance wall times (null while disabled).
   telemetry::Histogram* rebalance_hist_ = nullptr;
 };

@@ -1,0 +1,76 @@
+# Perf-trajectory smoke test, run as a CTest script:
+#   cmake -DPERF_TRAJECTORY=<binary> -DOUT_DIR=<dir> -P perf_smoke.cmake
+# Runs bench/perf_trajectory in --quick mode and validates the emitted
+# BENCH_perf.json: schema tag, build-provenance header, at least four cells,
+# per-cell required keys, and event counts that grow strictly with job count
+# for each scheduler (the same workload at a larger scale must process more
+# events — a cheap sanity check that the grid actually ran).
+cmake_minimum_required(VERSION 3.19)
+
+foreach(var PERF_TRAJECTORY OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "perf_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY ${OUT_DIR})
+set(bench_file "${OUT_DIR}/BENCH_perf.json")
+execute_process(
+  COMMAND ${PERF_TRAJECTORY} --quick --out ${bench_file}
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text
+  ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "perf_smoke: perf_trajectory exited ${exit_code}\n"
+                      "${stdout_text}\n${stderr_text}")
+endif()
+if(NOT EXISTS ${bench_file})
+  message(FATAL_ERROR "perf_smoke: ${bench_file} was not written")
+endif()
+
+file(READ ${bench_file} bench_text)
+string(JSON schema GET "${bench_text}" schema)
+if(NOT schema STREQUAL "elastisim-bench-perf-v1")
+  message(FATAL_ERROR "perf_smoke: unexpected schema \"${schema}\"")
+endif()
+string(JSON compiler GET "${bench_text}" build compiler)
+if(compiler STREQUAL "")
+  message(FATAL_ERROR "perf_smoke: build header has no compiler id")
+endif()
+
+string(JSON cell_count LENGTH "${bench_text}" cells)
+if(cell_count LESS 4)
+  message(FATAL_ERROR "perf_smoke: only ${cell_count} cells (want >= 4)")
+endif()
+
+math(EXPR last_cell "${cell_count} - 1")
+foreach(index RANGE ${last_cell})
+  foreach(key jobs scheduler events wall_s events_per_second wall_s_per_10k_jobs
+          peak_rss_bytes top_phases)
+    string(JSON value ERROR_VARIABLE json_error GET "${bench_text}" cells ${index} ${key})
+    if(json_error)
+      message(FATAL_ERROR "perf_smoke: cell ${index} missing \"${key}\": ${json_error}")
+    endif()
+  endforeach()
+  string(JSON scheduler GET "${bench_text}" cells ${index} scheduler)
+  string(JSON jobs GET "${bench_text}" cells ${index} jobs)
+  string(JSON events GET "${bench_text}" cells ${index} events)
+  if(events LESS_EQUAL 0)
+    message(FATAL_ERROR "perf_smoke: cell ${index} (${jobs}, ${scheduler}) has no events")
+  endif()
+  # Cells are emitted in ascending job-count order per scheduler; event counts
+  # must be strictly monotone along that axis.
+  if(DEFINED last_events_${scheduler})
+    if(NOT jobs GREATER last_jobs_${scheduler})
+      message(FATAL_ERROR "perf_smoke: cells for ${scheduler} not in ascending job order")
+    endif()
+    if(NOT events GREATER last_events_${scheduler})
+      message(FATAL_ERROR "perf_smoke: events not monotone for ${scheduler}: "
+                          "${last_events_${scheduler}} then ${events}")
+    endif()
+  endif()
+  set(last_events_${scheduler} ${events})
+  set(last_jobs_${scheduler} ${jobs})
+endforeach()
+
+message(STATUS "perf_smoke: ${cell_count} cells, schema and monotonicity OK")

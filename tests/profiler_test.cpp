@@ -1,0 +1,210 @@
+// Unit tests for the self-profiler: phase accounting (calls,
+// inclusive/exclusive time, recursion, parent attribution), counter ordering,
+// the deterministic report schema, and the disabled fast path.
+#include "stats/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace profiler = elastisim::stats::profiler;
+namespace json = elastisim::json;
+using profiler::Phase;
+
+namespace {
+
+/// Spins until the profiled wall clock advances, so scope durations are
+/// strictly positive without sleeping.
+void burn() {
+  const double start = profiler::Profiler::global().window_s();
+  while (profiler::Profiler::global().window_s() <= start) {
+  }
+}
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!profiler::compiled()) GTEST_SKIP() << "ELSIM_NO_PROFILER build";
+    profiler::set_enabled(true);  // resets stats and the window
+  }
+  void TearDown() override { profiler::set_enabled(false); }
+};
+
+TEST_F(ProfilerTest, PhaseNamesAreUniqueAndNonEmpty) {
+  std::set<std::string> names;
+  for (int i = 0; i < profiler::kPhaseCount; ++i) {
+    const std::string name = profiler::phase_name(static_cast<Phase>(i));
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate phase name " << name;
+  }
+}
+
+/// Finds a phase row in a report() by name; fails the test when absent.
+const elastisim::json::Value& phase_row(const elastisim::json::Value& report,
+                                        Phase phase) {
+  const elastisim::json::Value* phases = report.find("phases");
+  EXPECT_NE(phases, nullptr);
+  for (const auto& row : phases->as_array()) {
+    if (row.member_or("name", "") == profiler::phase_name(phase)) return row;
+  }
+  ADD_FAILURE() << "phase " << profiler::phase_name(phase) << " missing from report";
+  static const elastisim::json::Value empty;
+  return empty;
+}
+
+TEST_F(ProfilerTest, CountsCallsAndSplitsExclusiveFromInclusive) {
+  auto& prof = profiler::Profiler::global();
+  {
+    profiler::ScopedPhase outer(Phase::kEngineDispatch);
+    burn();
+    {
+      profiler::ScopedPhase inner(Phase::kFluidSolve);
+      burn();
+    }
+    {
+      profiler::ScopedPhase inner(Phase::kFluidSolve);
+      burn();
+    }
+  }
+  EXPECT_EQ(prof.stats(Phase::kEngineDispatch).calls, 1u);
+  EXPECT_EQ(prof.stats(Phase::kFluidSolve).calls, 2u);
+  // Cross-phase identities hold exactly inside one report(), where a single
+  // tick calibration converts every row.
+  const elastisim::json::Value report = prof.report();
+  const auto& dispatch = phase_row(report, Phase::kEngineDispatch);
+  const auto& solve = phase_row(report, Phase::kFluidSolve);
+  const double dispatch_incl = dispatch.member_or("inclusive_s", 0.0);
+  const double dispatch_excl = dispatch.member_or("exclusive_s", 0.0);
+  const double solve_incl = solve.member_or("inclusive_s", 0.0);
+  EXPECT_GT(dispatch_incl, 0.0);
+  EXPECT_GT(solve_incl, 0.0);
+  // The parent's exclusive time is its elapsed time minus the children's.
+  EXPECT_LT(dispatch_excl, dispatch_incl);
+  EXPECT_NEAR(dispatch_excl + solve_incl, dispatch_incl, 1e-9 + 1e-9 * dispatch_incl);
+  // Attribution: solve time billed to the dispatch edge, dispatch to root.
+  ASSERT_NE(solve.find("parents"), nullptr);
+  EXPECT_NEAR(solve.find("parents")->member_or("engine.dispatch", 0.0), solve_incl,
+              1e-9 + 1e-9 * solve_incl);
+  ASSERT_NE(dispatch.find("parents"), nullptr);
+  EXPECT_NEAR(dispatch.find("parents")->member_or("<root>", 0.0), dispatch_incl,
+              1e-9 + 1e-9 * dispatch_incl);
+  EXPECT_EQ(solve.find("parents")->find("<root>"), nullptr);
+}
+
+TEST_F(ProfilerTest, RecursionBillsInclusiveOnceAndExclusiveFully) {
+  auto& prof = profiler::Profiler::global();
+  {
+    profiler::ScopedPhase outer(Phase::kScheduler);
+    burn();
+    {
+      profiler::ScopedPhase recursive(Phase::kScheduler);
+      burn();
+    }
+    burn();
+  }
+  EXPECT_EQ(prof.stats(Phase::kScheduler).calls, 2u);
+  const elastisim::json::Value report = prof.report();
+  const auto& row = phase_row(report, Phase::kScheduler);
+  const double inclusive = row.member_or("inclusive_s", 0.0);
+  const double exclusive = row.member_or("exclusive_s", 0.0);
+  // Inclusive counts the outermost scope only; exclusive sums both scopes'
+  // self time, which for pure same-phase recursion is the same elapsed span.
+  EXPECT_NEAR(inclusive, exclusive, 1e-9 + 1e-9 * inclusive);
+  EXPECT_GT(inclusive, 0.0);
+}
+
+TEST_F(ProfilerTest, DisabledScopesRecordNothing) {
+  profiler::set_enabled(false);
+  {
+    profiler::ScopedPhase scope(Phase::kFault);
+    burn();
+  }
+  // Re-enabling resets anyway; inspect before that via global().
+  EXPECT_EQ(profiler::Profiler::global().stats(Phase::kFault).calls, 0u);
+}
+
+TEST_F(ProfilerTest, CountersKeepFirstSetOrderAndOverwriteInPlace) {
+  auto& prof = profiler::Profiler::global();
+  prof.set_counter("zeta", 1);
+  prof.set_counter("alpha", 2);
+  prof.set_counter("zeta", 3);
+  ASSERT_EQ(prof.counters().size(), 2u);
+  EXPECT_EQ(prof.counters()[0].first, "zeta");
+  EXPECT_EQ(prof.counters()[0].second, 3u);
+  EXPECT_EQ(prof.counters()[1].first, "alpha");
+}
+
+TEST_F(ProfilerTest, ReportCarriesTheDocumentedSchema) {
+  auto& prof = profiler::Profiler::global();
+  {
+    profiler::ScopedPhase scope(Phase::kSetup);
+    burn();
+  }
+  prof.set_counter("engine.events", 7);
+  const json::Value report = prof.report();
+  EXPECT_EQ(report.member_or("schema", ""), "elastisim-profile-v1");
+  EXPECT_GT(report.member_or("wall_s", 0.0), 0.0);
+  ASSERT_NE(report.find("build"), nullptr);
+  EXPECT_FALSE(report.find("build")->member_or("compiler", "").empty());
+  ASSERT_NE(report.find("counters"), nullptr);
+  EXPECT_EQ(report.find("counters")->member_or("engine.events", std::int64_t{0}), 7);
+
+  // Every phase appears exactly once, in enum order, zero-call rows included.
+  const json::Value* phases = report.find("phases");
+  ASSERT_NE(phases, nullptr);
+  ASSERT_TRUE(phases->is_array());
+  const auto& rows = phases->as_array();
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(profiler::kPhaseCount));
+  for (int i = 0; i < profiler::kPhaseCount; ++i) {
+    EXPECT_EQ(rows[static_cast<std::size_t>(i)].member_or("name", ""),
+              profiler::phase_name(static_cast<Phase>(i)));
+  }
+  EXPECT_EQ(rows[0].member_or("calls", std::int64_t{0}), 1);  // kSetup above
+}
+
+TEST_F(ProfilerTest, ReportKeySequenceIsStableAcrossRuns) {
+  auto take_keys = [](const json::Value& value) {
+    std::vector<std::string> keys;
+    for (const auto& [key, member] : value.as_object()) {
+      keys.push_back(key);
+      static_cast<void>(member);
+    }
+    return keys;
+  };
+  {
+    profiler::ScopedPhase scope(Phase::kOutput);
+    burn();
+  }
+  const auto first = take_keys(profiler::Profiler::global().report());
+  profiler::set_enabled(true);  // reset; no scopes at all this time
+  const auto second = take_keys(profiler::Profiler::global().report());
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(ProfilerTest, EnableResetsAccumulatedState) {
+  auto& prof = profiler::Profiler::global();
+  {
+    profiler::ScopedPhase scope(Phase::kSinks);
+  }
+  prof.set_counter("stale", 1);
+  profiler::set_enabled(true);
+  EXPECT_EQ(prof.stats(Phase::kSinks).calls, 0u);
+  EXPECT_TRUE(prof.counters().empty());
+}
+
+TEST(ProfilerEnvironmentTest, PeakRssIsReported) {
+  EXPECT_GT(profiler::peak_rss_bytes(), 0u);
+}
+
+TEST(ProfilerEnvironmentTest, BuildInfoHasTheFixedKeys) {
+  const json::Value build = profiler::build_info_json();
+  for (const char* key :
+       {"compiler", "build_type", "flags", "assertions", "sanitizers",
+        "profiler_compiled"}) {
+    EXPECT_NE(build.find(key), nullptr) << "missing build key " << key;
+  }
+}
+
+}  // namespace

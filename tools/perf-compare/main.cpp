@@ -1,0 +1,157 @@
+// perf-compare — diff two BENCH_perf.json performance trajectories.
+//
+//   perf-compare <baseline.json> <candidate.json> [--threshold 0.30]
+//
+// Matches cells by (jobs, scheduler), prints per-cell percentage deltas for
+// events/sec, wall seconds per 10k jobs, and peak RSS, and exits non-zero if
+// any matched cell's events/sec regressed by more than the threshold
+// (default 30%, the tolerance the CI perf-smoke job enforces; see
+// docs/OBSERVABILITY.md for why it is this loose). Mismatched build
+// provenance (compiler, flags, build type) only warns: the numbers are still
+// printed, but the regression verdict is unreliable across builds.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "util/flags.h"
+
+using namespace elastisim;
+
+namespace {
+
+struct CellKey {
+  std::int64_t jobs = 0;
+  std::string scheduler;
+};
+
+bool same_key(const CellKey& a, const CellKey& b) {
+  return a.jobs == b.jobs && a.scheduler == b.scheduler;
+}
+
+const json::Value* find_cell(const json::Value& file, const CellKey& key) {
+  const json::Value* cells = file.find("cells");
+  if (!cells || !cells->is_array()) return nullptr;
+  for (const json::Value& cell : cells->as_array()) {
+    CellKey candidate{cell.member_or("jobs", std::int64_t{0}),
+                      cell.member_or("scheduler", std::string())};
+    if (same_key(candidate, key)) return &cell;
+  }
+  return nullptr;
+}
+
+/// "+12.3%" / "-4.5%" / "n/a" when the baseline value is ~zero.
+std::string delta_percent(double baseline, double candidate) {
+  if (std::fabs(baseline) < 1e-12) return "n/a";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%+.1f%%", 100.0 * (candidate - baseline) / baseline);
+  return buffer;
+}
+
+/// Warns about any build-provenance field that differs (satellite: comparing
+/// trajectories from different compilers/flags is apples to oranges).
+void warn_on_build_mismatch(const json::Value& baseline, const json::Value& candidate) {
+  const json::Value* base_build = baseline.find("build");
+  const json::Value* cand_build = candidate.find("build");
+  if (!base_build || !cand_build) return;
+  for (const char* key : {"compiler", "build_type", "flags", "assertions",
+                          "sanitizers", "profiler_compiled"}) {
+    const json::Value* a = base_build->find(key);
+    const json::Value* b = cand_build->find(key);
+    const std::string lhs = a ? json::dump(*a) : "(missing)";
+    const std::string rhs = b ? json::dump(*b) : "(missing)";
+    if (lhs != rhs) {
+      std::fprintf(stderr,
+                   "warning: build mismatch on \"%s\": baseline %s vs candidate %s "
+                   "(deltas below are not comparable)\n",
+                   key, lhs.c_str(), rhs.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  const auto& positional = flags.positional();
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: %s <baseline BENCH_perf.json> <candidate BENCH_perf.json> "
+                 "[--threshold 0.30]\n",
+                 flags.program().c_str());
+    return 2;
+  }
+  const double threshold = flags.get("threshold", 0.30);
+
+  json::Value baseline;
+  json::Value candidate;
+  try {
+    baseline = json::parse_file(positional[0]);
+    candidate = json::parse_file(positional[1]);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+  for (const json::Value* file : {&baseline, &candidate}) {
+    const std::string schema = file->member_or("schema", "");
+    if (schema != "elastisim-bench-perf-v1") {
+      std::fprintf(stderr, "error: unexpected schema \"%s\" (want elastisim-bench-perf-v1)\n",
+                   schema.c_str());
+      return 2;
+    }
+  }
+  warn_on_build_mismatch(baseline, candidate);
+
+  const json::Value* base_cells = baseline.find("cells");
+  if (!base_cells || !base_cells->is_array() || base_cells->as_array().empty()) {
+    std::fprintf(stderr, "error: baseline has no cells\n");
+    return 2;
+  }
+
+  std::printf("%-16s %6s %12s %12s %10s %10s %10s\n", "scheduler", "jobs", "base ev/s",
+              "cand ev/s", "ev/s", "s/10k", "rss");
+  bool regressed = false;
+  std::size_t matched = 0;
+  for (const json::Value& base_cell : base_cells->as_array()) {
+    CellKey key{base_cell.member_or("jobs", std::int64_t{0}),
+                base_cell.member_or("scheduler", std::string())};
+    const json::Value* cand_cell = find_cell(candidate, key);
+    if (!cand_cell) {
+      std::fprintf(stderr, "warning: cell (%lld, %s) missing from candidate\n",
+                   static_cast<long long>(key.jobs), key.scheduler.c_str());
+      continue;
+    }
+    ++matched;
+    const double base_eps = base_cell.member_or("events_per_second", 0.0);
+    const double cand_eps = cand_cell->member_or("events_per_second", 0.0);
+    std::printf("%-16s %6lld %12.0f %12.0f %10s %10s %10s\n", key.scheduler.c_str(),
+                static_cast<long long>(key.jobs), base_eps, cand_eps,
+                delta_percent(base_eps, cand_eps).c_str(),
+                delta_percent(base_cell.member_or("wall_s_per_10k_jobs", 0.0),
+                              cand_cell->member_or("wall_s_per_10k_jobs", 0.0))
+                    .c_str(),
+                delta_percent(base_cell.member_or("peak_rss_bytes", 0.0),
+                              cand_cell->member_or("peak_rss_bytes", 0.0))
+                    .c_str());
+    if (base_eps > 0.0 && cand_eps < base_eps * (1.0 - threshold)) {
+      std::fprintf(stderr, "regression: (%lld, %s) events/sec %.0f -> %.0f (> %.0f%% slower)\n",
+                   static_cast<long long>(key.jobs), key.scheduler.c_str(), base_eps,
+                   cand_eps, 100.0 * threshold);
+      regressed = true;
+    }
+  }
+  if (matched == 0) {
+    std::fprintf(stderr, "error: no cells matched between the two files\n");
+    return 2;
+  }
+  if (regressed) {
+    std::fprintf(stderr, "FAIL: events/sec regressed beyond %.0f%% tolerance\n",
+                 100.0 * threshold);
+    return 1;
+  }
+  std::printf("OK: %zu cells within %.0f%% events/sec tolerance\n", matched,
+              100.0 * threshold);
+  return 0;
+}
