@@ -30,6 +30,7 @@
 // times plus work-metric counters, written as deterministic-schema JSON.
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -40,6 +41,7 @@
 #include "cli/inspect.h"
 #include "cli/profile.h"
 #include "cli/report.h"
+#include "cli/sweep.h"
 #include "core/fault_injector.h"
 #include "core/invariant_checker.h"
 #include "core/simulation.h"
@@ -51,7 +53,9 @@
 #include "stats/telemetry.h"
 #include "stats/trace.h"
 #include "platform/loader.h"
+#include "sim/cancellation.h"
 #include "util/flags.h"
+#include "util/load_error.h"
 #include "util/log.h"
 #include "util/units.h"
 #include "workload/swf.h"
@@ -69,6 +73,7 @@ void usage(const char* program) {
                "          [--timeseries] [--sample-interval <seconds>]\n"
                "          [--chrome-trace <file.json>] [--journal <file.jsonl>]\n"
                "          [--profile <file.json>] [--validate] [--log <level>]\n"
+               "   or: %s sweep <sweep.json> [--threads <n>] [--out-dir <dir>]\n"
                "   or: %s inspect --job <id> <journal.jsonl>\n"
                "   or: %s inspect --diff <a.jsonl> <b.jsonl>\n"
                "   or: %s report <out-dir> [--out <report.html>]\n"
@@ -82,7 +87,7 @@ void usage(const char* program) {
                "          [--failure-policy kill|requeue|requeue-restart]\n"
                "          [--restart-overhead <duration>] [--max-requeues <n>]\n\n"
                "schedulers:",
-               program, program, program, program, program);
+               program, program, program, program, program, program);
   for (const std::string& name : core::scheduler_names()) {
     std::fprintf(stderr, " %s", name.c_str());
   }
@@ -111,6 +116,7 @@ json::Value summary_json(const core::SimulationResult& result,
   out["redone_seconds"] = result.recorder.total_redone_seconds();
   out["wall_seconds"] = result.wall_seconds;
   out["events_processed"] = result.events_processed;
+  out["partial"] = result.cancelled;
   return json::Value(std::move(out));
 }
 
@@ -123,11 +129,24 @@ double duration_flag(const util::Flags& flags, const std::string& name, double f
   return fallback;
 }
 
+/// Cooperative single-run interrupt: the SIGINT/SIGTERM handler cancels this
+/// token, the engine stops between events, and the normal artifact-writing
+/// path still runs (summary.json lands with "partial": true, exit 130).
+sim::CancellationToken g_run_token;
+
+void handle_run_signal(int) {
+  g_run_token.cancel(sim::CancelReason::kInterrupted);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   util::set_log_level(util::parse_log_level(flags.get("log", std::string("warn"))));
+  for (const std::string& name : flags.duplicates()) {
+    std::fprintf(stderr, "warning: --%s given more than once; using the last value\n",
+                 name.c_str());
+  }
 
   if (!flags.positional().empty() && flags.positional().front() == "inspect") {
     return cli::run_inspect(flags);
@@ -137,6 +156,9 @@ int main(int argc, char** argv) {
   }
   if (!flags.positional().empty() && flags.positional().front() == "profile") {
     return cli::run_profile(flags);
+  }
+  if (!flags.positional().empty() && flags.positional().front() == "sweep") {
+    return cli::run_sweep(flags);
   }
 
   const std::string platform_path = flags.get("platform", std::string());
@@ -296,8 +318,25 @@ int main(int argc, char** argv) {
           const char* env = std::getenv("ELSIM_VALIDATE");
           return env != nullptr && *env != '\0' && std::string(env) != "0";
         }();
-    for (const std::string& unknown : flags.unused()) {
-      ELSIM_WARN("unknown flag --{} ignored", unknown);
+    // Flags only read on branches this invocation skipped (e.g. --swf-* on a
+    // --workload run) are still legitimate; register them before diagnosing.
+    flags.note_known({"platform", "workload", "swf", "scheduler", "interval",
+                      "no-reconfig-cost", "out-dir", "trace", "telemetry", "timeseries",
+                      "sample-interval", "chrome-trace", "journal", "profile", "validate",
+                      "log", "seed", "swf-cores-per-node", "swf-malleable", "mtbf",
+                      "failure-dist", "weibull-shape", "repair", "repair-dist",
+                      "repair-sigma", "pod-correlation", "failure-horizon", "failure-seed",
+                      "failure-trace", "save-failure-trace", "failure-policy",
+                      "restart-overhead", "max-requeues"});
+    const auto unknown_flags = flags.unknown_with_suggestions();
+    if (!unknown_flags.empty()) {
+      for (const auto& [name, suggestion] : unknown_flags) {
+        const std::string hint =
+            suggestion.empty() ? std::string() : " (did you mean --" + suggestion + "?)";
+        std::fprintf(stderr, "error: unknown flag --%s%s\n", name.c_str(), hint.c_str());
+      }
+      usage(argv[0]);
+      return 2;
     }
     if (want_telemetry) telemetry::set_enabled(true);
 
@@ -326,8 +365,16 @@ int main(int argc, char** argv) {
       core::FaultInjector::apply(batch, failures);
       result.submitted = batch.submit_all(std::move(jobs));
       setup_scope.reset();
+      // Ctrl-C stops the engine between events; every sink below still
+      // flushes, so an interrupted run leaves complete (partial) artifacts.
+      engine.set_cancellation(&g_run_token);
+      std::signal(SIGINT, handle_run_signal);
+      std::signal(SIGTERM, handle_run_signal);
       const auto wall_begin = std::chrono::steady_clock::now();
       engine.run();
+      std::signal(SIGINT, SIG_DFL);
+      std::signal(SIGTERM, SIG_DFL);
+      result.cancelled = engine.cancel_requested();
       result.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin)
               .count();
@@ -426,6 +473,13 @@ int main(int argc, char** argv) {
     std::printf("\nwrote %s/jobs.csv, %s/timeline.csv, %s/summary.json%s\n", out_dir.c_str(),
                 out_dir.c_str(), out_dir.c_str(),
                 want_telemetry ? ", telemetry.json" : "");
+    if (result.cancelled) {
+      std::fprintf(stderr,
+                   "warning: run interrupted after %llu events; artifacts describe a "
+                   "partial run (summary.json has \"partial\": true)\n",
+                   static_cast<unsigned long long>(result.events_processed));
+      return 130;
+    }
     if (result.stuck > 0) {
       // Name the offenders (first few) so the user can go straight to
       // `elastisim inspect --job` instead of bisecting the workload.
@@ -443,6 +497,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     return 0;
+  } catch (const util::LoadError& error) {
+    // Malformed platform/workload input: the structured diagnostic names the
+    // file, the JSON path, and expected-vs-found. Loading happens before any
+    // sink opens, so no partial output files exist.
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;

@@ -1,0 +1,219 @@
+#include "cli/sweep.h"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sweep_runner.h"
+#include "json/json.h"
+#include "util/flags.h"
+#include "util/load_error.h"
+
+namespace elastisim::cli {
+
+namespace {
+
+/// Set by the SIGINT/SIGTERM handler; the sweep watchdog polls it and turns
+/// it into cooperative cancellation of every in-flight cell.
+std::atomic<bool> g_sweep_interrupt{false};
+
+void handle_sweep_signal(int) { g_sweep_interrupt.store(true, std::memory_order_relaxed); }
+
+void usage(const char* program) {
+  std::fprintf(stderr,
+               "usage: %s sweep <sweep.json> [--threads <n>] [--out-dir <dir>]\n"
+               "          [--cell-outputs true|false]\n"
+               "          [--inject-crash <i,j,...>] [--inject-stall <i,j,...>]\n",
+               program);
+}
+
+/// Parses "3,17,24" into cell indices; returns false on garbage.
+bool parse_index_list(const std::string& text, std::set<std::size_t>& out) {
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    const std::string token = text.substr(begin, end - begin);
+    if (!token.empty()) {
+      std::size_t value = 0;
+      const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec != std::errc{} || ptr != token.data() + token.size()) return false;
+      out.insert(value);
+    }
+    begin = end + 1;
+  }
+  return true;
+}
+
+void print_summary(const core::SweepSpec& spec, const core::SweepResult& result) {
+  std::printf("\n%-5s %-22s %-9s %6s %9s  %s\n", "cell", "scheduler/seed", "status",
+              "tries", "time", "detail");
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const core::SweepCell& cell = result.cells[i];
+    const core::CellOutcome& outcome = result.outcomes[i];
+    std::string label = cell.scheduler + "/" + std::to_string(cell.seed);
+    std::string detail;
+    if (!outcome.error.empty()) {
+      detail = outcome.error;
+    } else if (outcome.has_metrics) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "makespan %.0fs", outcome.metrics.makespan);
+      detail = buffer;
+    }
+    std::printf("%-5zu %-22s %-9s %6d %8.2fs  %s\n", cell.index, label.c_str(),
+                core::to_string(outcome.status).c_str(), outcome.attempts,
+                outcome.duration_s, detail.c_str());
+  }
+
+  std::printf("\n%-20s %6s %6s %14s %12s %10s %6s\n", "scheduler", "cells", "ok",
+              "mean makespan", "mean wait", "slowdown", "util");
+  for (const std::string& scheduler : spec.schedulers) {
+    std::size_t total = 0;
+    std::size_t succeeded = 0;
+    double makespan = 0.0;
+    double wait = 0.0;
+    double slowdown = 0.0;
+    double utilization = 0.0;
+    for (std::size_t i = 0; i < result.cells.size(); ++i) {
+      // elsim-lint: allow(float-equality) -- std::string comparison
+      if (result.cells[i].scheduler != scheduler) continue;
+      ++total;
+      const core::CellOutcome& outcome = result.outcomes[i];
+      if (!outcome.succeeded() || !outcome.has_metrics) continue;
+      ++succeeded;
+      makespan += outcome.metrics.makespan;
+      wait += outcome.metrics.mean_wait;
+      slowdown += outcome.metrics.mean_bounded_slowdown;
+      utilization += outcome.metrics.avg_utilization;
+    }
+    const double denom = succeeded > 0 ? static_cast<double>(succeeded) : 1.0;
+    std::printf("%-20s %6zu %6zu %13.0fs %11.1fs %10.2f %5.0f%%\n", scheduler.c_str(),
+                total, succeeded, makespan / denom, wait / denom, slowdown / denom,
+                100.0 * utilization / denom);
+  }
+
+  std::printf("\n%zu/%zu cells succeeded (ok %zu, retried %zu, timeout %zu, stalled %zu, "
+              "crashed %zu, skipped %zu)%s\n",
+              result.succeeded(), result.cells.size(), result.count(core::CellStatus::kOk),
+              result.count(core::CellStatus::kRetried),
+              result.count(core::CellStatus::kTimeout),
+              result.count(core::CellStatus::kStalled),
+              result.count(core::CellStatus::kCrashed),
+              result.count(core::CellStatus::kSkipped),
+              result.interrupted ? " — interrupted, partial results" : "");
+}
+
+}  // namespace
+
+int run_sweep(const util::Flags& flags) {
+  const char* program = flags.program().empty() ? "elastisim" : flags.program().c_str();
+  if (flags.positional().size() < 2) {
+    std::fprintf(stderr, "error: sweep requires a spec file\n");
+    usage(program);
+    return 2;
+  }
+  const std::string spec_path = flags.positional()[1];
+  const std::string out_dir = flags.get("out-dir", std::string("sweep-results"));
+  const bool cell_outputs = flags.get("cell-outputs", true);
+  const std::size_t hardware =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t threads = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, flags.get("threads", static_cast<std::int64_t>(hardware))));
+
+  std::set<std::size_t> crash_cells;
+  std::set<std::size_t> stall_cells;
+  if (!parse_index_list(flags.get("inject-crash", std::string()), crash_cells) ||
+      !parse_index_list(flags.get("inject-stall", std::string()), stall_cells)) {
+    std::fprintf(stderr, "error: --inject-crash/--inject-stall take comma-separated "
+                         "cell indices\n");
+    usage(program);
+    return 2;
+  }
+
+  const auto unknown = flags.unknown_with_suggestions();
+  if (!unknown.empty()) {
+    for (const auto& [name, suggestion] : unknown) {
+      const std::string hint =
+          suggestion.empty() ? std::string() : " (did you mean --" + suggestion + "?)";
+      std::fprintf(stderr, "error: unknown flag --%s%s\n", name.c_str(), hint.c_str());
+    }
+    usage(program);
+    return 2;
+  }
+
+  core::SweepSpec spec;
+  try {
+    spec = core::load_sweep_spec(spec_path);
+  } catch (const util::LoadError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+
+  core::SweepOptions options;
+  options.threads = threads;
+  if (cell_outputs) options.cell_output_dir = out_dir;
+  options.interrupt = &g_sweep_interrupt;
+
+  core::SweepRunner runner(std::move(spec), std::move(options));
+  try {
+    // Parse every input up front: a malformed platform/workload fails the
+    // sweep cleanly before any output directory exists.
+    runner.load_inputs();
+  } catch (const util::LoadError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+
+  if (!crash_cells.empty() || !stall_cells.empty()) {
+    runner.set_cell_body([&runner, crash_cells, stall_cells](
+                             const core::SweepCell& cell, sim::CancellationToken& token) {
+      if (crash_cells.count(cell.index) != 0) {
+        throw std::runtime_error("injected crash in cell " + std::to_string(cell.index));
+      }
+      if (stall_cells.count(cell.index) != 0) {
+        // Burn wall-clock without event progress until the stall watchdog
+        // (or a timeout/interrupt) cancels the token.
+        while (!token.cancelled()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+        return core::SimulationResult{};
+      }
+      return runner.run_cell(cell, token);
+    });
+  }
+
+  std::printf("sweep: %zu cells (%zu platforms x %zu workloads x %zu schedulers x %zu "
+              "seeds) on %zu threads\n",
+              runner.cells().size(), runner.spec().platforms.size(),
+              runner.spec().workloads.size(), runner.spec().schedulers.size(),
+              runner.spec().seeds.size(), threads);
+
+  g_sweep_interrupt.store(false, std::memory_order_relaxed);
+  std::signal(SIGINT, handle_sweep_signal);
+  std::signal(SIGTERM, handle_sweep_signal);
+  core::SweepResult result = runner.run();
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  print_summary(runner.spec(), result);
+
+  std::filesystem::create_directories(out_dir);
+  const std::string sweep_json = out_dir + "/sweep.json";
+  json::write_file(sweep_json, core::sweep_result_to_json(runner.spec(), result, threads));
+  const std::string extra = cell_outputs ? " and " + out_dir + "/cells/*/" : std::string();
+  std::printf("wrote %s%s\n", sweep_json.c_str(), extra.c_str());
+
+  return core::sweep_exit_code(result);
+}
+
+}  // namespace elastisim::cli

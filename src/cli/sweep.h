@@ -1,0 +1,25 @@
+// `elastisim sweep` — fault-tolerant parallel scenario sweeps (docs/SWEEP.md):
+//
+//   elastisim sweep <sweep.json> [--threads <n>] [--out-dir <dir>]
+//                   [--cell-outputs <bool>]
+//                   [--inject-crash <i,j,...>] [--inject-stall <i,j,...>]
+//
+// Expands the spec's (platforms x workloads x schedulers x seeds) grid,
+// runs every cell crash-isolated with timeouts/retries, and writes
+// <out-dir>/sweep.json plus per-cell artifacts. SIGINT/SIGTERM degrade
+// gracefully: in-flight cells are cancelled, pending ones marked skipped,
+// and sweep.json still lands with "partial": true.
+#pragma once
+
+namespace elastisim::util {
+class Flags;
+}
+
+namespace elastisim::cli {
+
+/// Returns the process exit code: 0 when every cell succeeded, 2 on bad
+/// usage or a malformed spec/platform/workload file, 3 on partial success
+/// (some cells failed or were skipped — results were still written).
+int run_sweep(const util::Flags& flags);
+
+}  // namespace elastisim::cli

@@ -6,7 +6,9 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "core/fault_injector.h"
 #include "core/invariant_checker.h"
+#include "sim/cancellation.h"
 #include "stats/profiler.h"
 #include "util/fmt.h"
 
@@ -19,10 +21,8 @@ bool validate_env_enabled() {
   return env != nullptr && *env != '\0' && std::string_view(env) != "0";
 }
 
-}  // namespace
-
-SimulationResult run_simulation(const SimulationConfig& config,
-                                std::vector<workload::Job> jobs) {
+SimulationResult run_impl(const platform::ClusterConfig& platform,
+                          std::vector<workload::Job> jobs, const RunConfig& config) {
   auto scheduler = make_scheduler(config.scheduler);
   if (!scheduler) {
     throw std::runtime_error(util::fmt("unknown scheduler \"{}\"", config.scheduler));
@@ -30,17 +30,19 @@ SimulationResult run_simulation(const SimulationConfig& config,
 
   SimulationResult result;
   sim::Engine engine;
-  platform::Cluster cluster(engine, config.platform);
+  platform::Cluster cluster(engine, platform);
   BatchSystem batch(engine, cluster, std::move(scheduler), result.recorder, config.batch);
   if (config.trace) batch.set_event_trace(config.trace);
   if (config.journal) batch.set_journal(config.journal);
   if (config.sampler) batch.set_state_sampler(config.sampler);
+  if (config.cancel) engine.set_cancellation(config.cancel);
   std::optional<InvariantChecker> checker;
   if (config.validate || validate_env_enabled()) {
     checker.emplace();
     checker->attach_engine(engine);
     batch.set_invariant_checker(&*checker);
   }
+  if (config.failures) FaultInjector::apply(batch, *config.failures);
 
   result.submitted = batch.submit_all(std::move(jobs));
 
@@ -48,6 +50,7 @@ SimulationResult run_simulation(const SimulationConfig& config,
   engine.run();
   const auto wall_end = std::chrono::steady_clock::now();
 
+  result.cancelled = engine.cancel_requested();
   result.finished = batch.finished_jobs();
   result.killed = batch.killed_jobs();
   result.stuck = batch.queued_jobs() + batch.running_jobs();
@@ -64,6 +67,19 @@ SimulationResult run_simulation(const SimulationConfig& config,
   result.scheduler_rounds = batch.scheduler_rounds();
   result.peak_rss_bytes = stats::profiler::peak_rss_bytes();
   return result;
+}
+
+}  // namespace
+
+SimulationResult run_simulation(const SimulationConfig& config,
+                                std::vector<workload::Job> jobs) {
+  return run_impl(config.platform, std::move(jobs), config);
+}
+
+SimulationResult run_scenario(const platform::ClusterConfig& platform,
+                              const std::vector<workload::Job>& jobs,
+                              const RunConfig& run) {
+  return run_impl(platform, jobs, run);
 }
 
 void record_profile_counters(const SimulationResult& result, const std::string& scheduler) {

@@ -1,6 +1,12 @@
 // One-call facade: wire up engine + cluster + batch system + recorder, run a
 // workload to completion, and return the metrics. This is the entry point
 // the examples and benchmark harnesses use.
+//
+// Configuration is split along the sharing boundary the sweep orchestrator
+// needs: RunConfig carries only *per-run* state (scheduler choice, sinks,
+// cancellation), while the parsed platform and job list are shared inputs a
+// caller may hold once and reuse across many concurrent runs (run_scenario).
+// SimulationConfig remains the owning single-run convenience facade.
 #pragma once
 
 #include <cstdint>
@@ -12,15 +18,23 @@
 #include "stats/metrics.h"
 #include "workload/job.h"
 
+namespace elastisim::sim {
+class CancellationToken;
+}  // namespace elastisim::sim
+
 namespace elastisim::core {
 
-struct SimulationConfig {
-  platform::ClusterConfig platform;
+struct FailureEvent;
+
+/// Per-run state: everything that is unique to one simulation run and cheap
+/// to set up, as opposed to the parsed platform/workload inputs that may be
+/// shared (immutably) across a whole sweep.
+struct RunConfig {
   BatchConfig batch;
   /// A make_scheduler() name.
   std::string scheduler = "fcfs";
   /// Optional sinks attached to the batch system for the run (not owned;
-  /// must outlive run_simulation). All default off.
+  /// must outlive the run). All default off.
   stats::EventTrace* trace = nullptr;
   stats::DecisionJournal* journal = nullptr;
   stats::StateSampler* sampler = nullptr;
@@ -30,6 +44,19 @@ struct SimulationConfig {
   /// ELSIM_VALIDATE environment variable to anything but "0", so examples
   /// and benches pick it up without code changes.
   bool validate = false;
+  /// Cooperative cancellation (not owned; must outlive the run): when the
+  /// token is cancelled the engine stops between events and the result comes
+  /// back with `cancelled` set instead of the run being torn down mid-state.
+  sim::CancellationToken* cancel = nullptr;
+  /// Failure schedule applied before the run starts (not owned; nullptr =
+  /// no injected failures). Per-run because failure seeds are a sweep axis.
+  const std::vector<FailureEvent>* failures = nullptr;
+};
+
+/// Owning single-run configuration: RunConfig plus the platform. Kept as the
+/// facade for examples/tests that configure one run in place.
+struct SimulationConfig : RunConfig {
+  platform::ClusterConfig platform;
 };
 
 struct SimulationResult {
@@ -60,11 +87,24 @@ struct SimulationResult {
   /// Process-wide peak RSS in bytes at the end of the run (monotone across
   /// runs in one process).
   std::uint64_t peak_rss_bytes = 0;
+  /// True when an attached CancellationToken stopped the run early; the
+  /// metrics above then describe a *partial* run (events up to the stop).
+  bool cancelled = false;
 };
 
 /// Runs `jobs` on the configured platform under the configured scheduler.
 /// Throws std::runtime_error for an unknown scheduler name.
 SimulationResult run_simulation(const SimulationConfig& config, std::vector<workload::Job> jobs);
+
+/// Shared-input variant for orchestrators: `platform` and `jobs` are parsed
+/// once by the caller and shared (immutably — this function copies the job
+/// list per run and never mutates either argument) across any number of
+/// sequential or concurrent runs; everything run-specific rides in `run`.
+/// Thread-safe with respect to other run_scenario calls on the same inputs
+/// as long as the sinks in `run` are per-run objects.
+SimulationResult run_scenario(const platform::ClusterConfig& platform,
+                              const std::vector<workload::Job>& jobs,
+                              const RunConfig& run);
 
 /// Copies a finished run's work metrics into the global profiler's counter
 /// set in the documented fixed order (docs/FORMATS.md): events, event-queue

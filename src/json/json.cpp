@@ -483,6 +483,33 @@ void dump_to(const Value& value, std::string& out, int indent, int depth) {
 
 Value parse(std::string_view text) { return Parser(text).parse_document(); }
 
+const char* type_name(const Value& value) {
+  switch (value.type()) {
+    case Value::Type::kNull:
+      return "null";
+    case Value::Type::kBool:
+      return "boolean";
+    case Value::Type::kNumber:
+      return "number";
+    case Value::Type::kString:
+      return "string";
+    case Value::Type::kArray:
+      return "array";
+    case Value::Type::kObject:
+      return "object";
+  }
+  return "unknown";
+}
+
+std::string describe(const Value& value, std::size_t max_chars) {
+  std::string out = dump(value);
+  if (out.size() > max_chars) {
+    out.resize(max_chars);
+    out += "...";
+  }
+  return out;
+}
+
 std::string dump(const Value& value) {
   std::string out;
   dump_to(value, out, /*indent=*/0, /*depth=*/0);

@@ -116,6 +116,14 @@ class ParseError : public std::runtime_error {
   std::size_t column_;
 };
 
+/// Human-readable name of a value's type ("object", "array", "number", ...);
+/// for "expected X, found Y" diagnostics.
+const char* type_name(const Value& value);
+
+/// Compact one-line rendering of `value` for diagnostics, truncated with an
+/// ellipsis past `max_chars`.
+std::string describe(const Value& value, std::size_t max_chars = 40);
+
 /// Parses a complete JSON document. Trailing non-whitespace is an error.
 Value parse(std::string_view text);
 

@@ -1,7 +1,7 @@
 #include "platform/loader.h"
 
 #include "util/fmt.h"
-#include <stdexcept>
+#include "util/load_error.h"
 
 #include "util/units.h"
 
@@ -9,6 +9,7 @@ namespace elastisim::platform {
 
 namespace {
 
+using util::LoadError;
 using util::parse_bandwidth;
 using util::parse_bytes;
 using util::parse_flops;
@@ -16,68 +17,96 @@ using util::parse_flops;
 using UnitParser = std::optional<double> (*)(std::string_view);
 
 /// Reads a quantity member that may be a bare number or a unit string.
-double quantity(const json::Value& object, std::string_view key, double fallback,
-                UnitParser parser) {
+/// `path` is the JSON path of the enclosing object ("$" or "$.pfs").
+double quantity(const json::Value& object, std::string_view path, std::string_view key,
+                double fallback, UnitParser parser) {
   const json::Value* member = object.find(key);
   if (!member) return fallback;
   if (member->is_number()) return member->as_double();
   if (member->is_string()) {
     if (auto parsed = parser(member->as_string())) return *parsed;
-    throw std::runtime_error(
-        util::fmt("platform field '{}': cannot parse quantity \"{}\"", key,
-                    member->as_string()));
+    throw LoadError("", util::fmt("{}.{}", path, key), "a parsable quantity string",
+                    json::describe(*member));
   }
-  throw std::runtime_error(util::fmt("platform field '{}': expected number or string", key));
+  throw LoadError("", util::fmt("{}.{}", path, key), "number or unit string",
+                  json::type_name(*member));
+}
+
+/// Reads a member that must be a positive integer when present.
+std::int64_t positive_int(const json::Value& object, std::string_view key,
+                          std::int64_t fallback) {
+  const json::Value* member = object.find(key);
+  if (!member) return fallback;
+  if (!member->is_number() || member->as_int() <= 0) {
+    throw LoadError("", util::fmt("$.{}", key), "a positive integer",
+                    json::describe(*member));
+  }
+  return member->as_int();
 }
 
 }  // namespace
 
 ClusterConfig parse_cluster_config(const json::Value& value) {
-  if (!value.is_object()) throw std::runtime_error("platform description must be a JSON object");
+  if (!value.is_object()) {
+    throw LoadError("", "$", "a platform object", json::type_name(value));
+  }
   ClusterConfig config;
 
   const std::string topology = value.member_or("topology", "star");
   if (auto kind = topology_from_string(topology)) {
     config.topology = *kind;
   } else {
-    throw std::runtime_error(util::fmt("unknown topology \"{}\"", topology));
+    throw LoadError("", "$.topology", "a known topology name",
+                    util::fmt("\"{}\"", topology));
   }
 
-  config.node_count =
-      static_cast<std::size_t>(value.member_or("nodes", static_cast<std::int64_t>(16)));
-  if (config.node_count == 0) throw std::runtime_error("platform: 'nodes' must be positive");
-  config.cores_per_node =
-      static_cast<int>(value.member_or("cores_per_node", static_cast<std::int64_t>(48)));
-  if (config.cores_per_node <= 0) {
-    throw std::runtime_error("platform: 'cores_per_node' must be positive");
-  }
-  config.flops_per_core = quantity(value, "flops_per_core", 1e9, parse_flops);
+  config.node_count = static_cast<std::size_t>(positive_int(value, "nodes", 16));
+  config.cores_per_node = static_cast<int>(positive_int(value, "cores_per_node", 48));
+  config.flops_per_core = quantity(value, "$", "flops_per_core", 1e9, parse_flops);
   config.gpus_per_node =
       static_cast<int>(value.member_or("gpus_per_node", std::int64_t{0}));
   if (config.gpus_per_node < 0) {
-    throw std::runtime_error("platform: 'gpus_per_node' must be non-negative");
+    throw LoadError("", "$.gpus_per_node", "a non-negative integer",
+                    util::fmt("{}", config.gpus_per_node));
   }
-  config.flops_per_gpu = quantity(value, "flops_per_gpu", 0.0, parse_flops);
-  config.memory_bytes = quantity(value, "memory", 0.0, parse_bytes);
-  config.link_bandwidth = quantity(value, "link_bandwidth", 12.5e9, parse_bandwidth);
-  config.link_latency = quantity(value, "link_latency", 0.0, util::parse_duration);
-  config.backbone_bandwidth = quantity(value, "backbone_bandwidth", 0.0, parse_bandwidth);
-  config.pod_size =
-      static_cast<std::size_t>(value.member_or("pod_size", static_cast<std::int64_t>(16)));
-  if (config.pod_size == 0) throw std::runtime_error("platform: 'pod_size' must be positive");
-  config.pod_bandwidth = quantity(value, "pod_bandwidth", 50e9, parse_bandwidth);
+  config.flops_per_gpu = quantity(value, "$", "flops_per_gpu", 0.0, parse_flops);
+  config.memory_bytes = quantity(value, "$", "memory", 0.0, parse_bytes);
+  config.link_bandwidth = quantity(value, "$", "link_bandwidth", 12.5e9, parse_bandwidth);
+  config.link_latency = quantity(value, "$", "link_latency", 0.0, util::parse_duration);
+  config.backbone_bandwidth =
+      quantity(value, "$", "backbone_bandwidth", 0.0, parse_bandwidth);
+  config.pod_size = static_cast<std::size_t>(positive_int(value, "pod_size", 16));
+  config.pod_bandwidth = quantity(value, "$", "pod_bandwidth", 50e9, parse_bandwidth);
   config.burst_buffer_bandwidth =
-      quantity(value, "burst_buffer_bandwidth", 0.0, parse_bandwidth);
+      quantity(value, "$", "burst_buffer_bandwidth", 0.0, parse_bandwidth);
 
   if (const json::Value* pfs = value.find("pfs")) {
-    config.pfs.read_bandwidth = quantity(*pfs, "read_bandwidth", 0.0, parse_bandwidth);
-    config.pfs.write_bandwidth = quantity(*pfs, "write_bandwidth", 0.0, parse_bandwidth);
+    config.pfs.read_bandwidth =
+        quantity(*pfs, "$.pfs", "read_bandwidth", 0.0, parse_bandwidth);
+    config.pfs.write_bandwidth =
+        quantity(*pfs, "$.pfs", "write_bandwidth", 0.0, parse_bandwidth);
   }
   return config;
 }
 
 ClusterConfig load_cluster_config(const std::string& path) {
-  return parse_cluster_config(json::parse_file(path));
+  json::Value value;
+  try {
+    value = json::parse_file(path);
+  } catch (const json::ParseError& error) {
+    throw LoadError(path, "$", "valid JSON",
+                    util::fmt("parse error at line {} column {}: {}", error.line(),
+                              error.column(), error.what()));
+  } catch (const LoadError&) {
+    throw;
+  } catch (const std::exception& error) {
+    throw LoadError(path, "", "", error.what());
+  }
+  try {
+    return parse_cluster_config(value);
+  } catch (const LoadError& error) {
+    throw error.with_file(path);
+  }
 }
 
 json::Value cluster_config_to_json(const ClusterConfig& config) {

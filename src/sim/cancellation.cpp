@@ -1,0 +1,19 @@
+#include "sim/cancellation.h"
+
+namespace elastisim::sim {
+
+std::string to_string(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kTimeout:
+      return "timeout";
+    case CancelReason::kStalled:
+      return "stalled";
+    case CancelReason::kInterrupted:
+      return "interrupted";
+  }
+  return "unknown";
+}
+
+}  // namespace elastisim::sim

@@ -69,7 +69,16 @@ SimTime Engine::run() {
   // per-event hot path. The engine.dispatch exclusive time is the event loop
   // minus its instrumented children.
   ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kEngineDispatch);
-  while (step()) {
+  if (cancel_ == nullptr) {
+    while (step()) {
+    }
+    return now_;
+  }
+  // Cancellation-aware drain: the token is consulted between events (a run
+  // never stops inside a callback) and fed the progress counters a stall
+  // watchdog samples.
+  while (!cancel_->cancelled() && step()) {
+    cancel_->note_progress(events_processed_, now_);
   }
   return now_;
 }
@@ -77,7 +86,9 @@ SimTime Engine::run() {
 SimTime Engine::run_until(SimTime deadline) {
   ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kEngineDispatch);
   while (!queue_.empty() && queue_.next_time() <= deadline) {
+    if (cancel_ != nullptr && cancel_->cancelled()) return now_;
     step();
+    if (cancel_ != nullptr) cancel_->note_progress(events_processed_, now_);
   }
   if (now_ < deadline) now_ = deadline;
   return now_;

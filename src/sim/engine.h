@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 
+#include "sim/cancellation.h"
 #include "sim/event_queue.h"
 #include "sim/fluid.h"
 #include "sim/time.h"
@@ -46,6 +47,17 @@ class Engine {
   /// `deadline` are processed. Returns the final simulated time.
   SimTime run_until(SimTime deadline);
 
+  /// Attaches a cooperative cancellation token (not owned; must outlive the
+  /// run). run()/run_until() check it between events and return early once
+  /// it is cancelled, leaving the pending queue intact; the engine publishes
+  /// (events processed, simulated time) through it after every event so an
+  /// external watchdog can detect stalls. Pass nullptr to detach; absent,
+  /// the event loop carries no extra cost.
+  void set_cancellation(CancellationToken* token) { cancel_ = token; }
+
+  /// True once an attached token asked the run to stop.
+  bool cancel_requested() const { return cancel_ != nullptr && cancel_->cancelled(); }
+
   /// Processes exactly one event. Returns false if none remain.
   bool step();
 
@@ -79,6 +91,7 @@ class Engine {
   std::unique_ptr<FluidModel> fluid_;
   std::uint64_t events_processed_ = 0;
   std::function<void(SimTime)> validator_;
+  CancellationToken* cancel_ = nullptr;
 
   // Telemetry handles (cached on first timed step; null while disabled).
   // Dispatch work is additionally grouped into spans of up to kDispatchBatch

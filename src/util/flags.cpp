@@ -1,5 +1,6 @@
 #include "util/flags.h"
 
+#include <algorithm>
 #include <charconv>
 
 namespace elastisim::util {
@@ -8,6 +9,13 @@ Flags::Flags(int argc, const char* const* argv) : Flags(argc, argv, {}) {}
 
 Flags::Flags(int argc, const char* const* argv, const std::set<std::string>& boolean_flags) {
   if (argc > 0) program_ = argv[0];
+  const auto record = [this](std::string name, std::string value) {
+    if (values_.count(name) != 0 &&
+        std::find(duplicates_.begin(), duplicates_.end(), name) == duplicates_.end()) {
+      duplicates_.push_back(name);
+    }
+    values_[std::move(name)] = std::move(value);
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg.rfind("--", 0) != 0) {
@@ -17,12 +25,12 @@ Flags::Flags(int argc, const char* const* argv, const std::set<std::string>& boo
     arg.erase(0, 2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      record(arg.substr(0, eq), arg.substr(eq + 1));
     } else if (boolean_flags.count(arg) == 0 && i + 1 < argc &&
                std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      record(std::move(arg), argv[++i]);
     } else {
-      values_[arg] = "true";
+      record(std::move(arg), "true");
     }
   }
 }
@@ -71,6 +79,46 @@ std::vector<std::string> Flags::unused() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : values_) {
     if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+void Flags::note_known(std::initializer_list<const char*> names) const {
+  for (const char* name : names) queried_[name] = true;
+}
+
+std::size_t Flags::edit_distance(std::string_view a, std::string_view b) {
+  // Classic two-row Levenshtein; flag names are short, so O(|a||b|) is fine.
+  std::vector<std::size_t> previous(b.size() + 1);
+  std::vector<std::size_t> current(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) previous[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    current[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      // elsim-lint: allow(float-equality) -- char comparison
+      const std::size_t substitution = previous[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      current[j] = std::min({previous[j] + 1, current[j - 1] + 1, substitution});
+    }
+    std::swap(previous, current);
+  }
+  return previous[b.size()];
+}
+
+std::vector<std::pair<std::string, std::string>> Flags::unknown_with_suggestions() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const std::string& name : unused()) {
+    std::string best;
+    // A suggestion must be genuinely close: within 2 edits, or 3 for long
+    // names — "--schedular" suggests "--scheduler", "--frobnicate" nothing.
+    std::size_t best_distance = name.size() >= 8 ? 3 : 2;
+    for (const auto& [known, _] : queried_) {
+      const std::size_t distance = edit_distance(name, known);
+      if (distance <= best_distance && (best.empty() || distance < best_distance)) {
+        best = known;
+        best_distance = distance;
+      }
+    }
+    out.emplace_back(name, best);
   }
   return out;
 }

@@ -12,10 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace elastisim::util {
@@ -40,6 +43,23 @@ class Flags {
   /// typos in example invocations.
   std::vector<std::string> unused() const;
 
+  /// Flags given more than once on the command line (the last value wins);
+  /// in command-line order, deduplicated. CLIs warn on these.
+  const std::vector<std::string>& duplicates() const { return duplicates_; }
+
+  /// Marks `names` as known without reading them, so flags that are only
+  /// queried on some code paths (e.g. --swf-* in the SWF branch) never show
+  /// up as "unknown" on the paths that skip them.
+  void note_known(std::initializer_list<const char*> names) const;
+
+  /// Unknown flag diagnosis: each unused flag paired with the closest known
+  /// (queried or noted) name within a small edit distance, or "" when
+  /// nothing is plausibly close. Call after all get()/has() queries.
+  std::vector<std::pair<std::string, std::string>> unknown_with_suggestions() const;
+
+  /// Levenshtein distance; exposed for tests.
+  static std::size_t edit_distance(std::string_view a, std::string_view b);
+
  private:
   std::optional<std::string> raw(const std::string& name) const;
 
@@ -47,6 +67,7 @@ class Flags {
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> queried_;
   std::vector<std::string> positional_;
+  std::vector<std::string> duplicates_;
 };
 
 }  // namespace elastisim::util

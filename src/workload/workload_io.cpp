@@ -5,10 +5,27 @@
 #include <stdexcept>
 
 #include "util/fmt.h"
+#include "util/load_error.h"
 
 namespace elastisim::workload {
 
 namespace {
+
+using util::LoadError;
+
+/// Runs `fn`, prefixing the JSON path of any escaping diagnostic with
+/// `path` so nested parse errors name their position in the enclosing
+/// document ("$.jobs[3].application.phases[1]...").
+template <typename Fn>
+auto at_path(const std::string& path, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const LoadError& error) {
+    throw error.with_path_prefix(path);
+  } catch (const std::exception& error) {
+    throw LoadError("", path, "", error.what());
+  }
+}
 
 json::Value task_to_json(const Task& task) {
   json::Object out;
@@ -41,7 +58,8 @@ ScalingModel scaling_from_string(const std::string& name) {
   if (name == "strong") return ScalingModel::kStrong;
   if (name == "weak") return ScalingModel::kWeak;
   if (name == "amdahl") return ScalingModel::kAmdahl;
-  throw std::runtime_error(util::fmt("unknown scaling model \"{}\"", name));
+  throw LoadError("", "$.scaling", "one of strong|weak|amdahl",
+                  util::fmt("\"{}\"", name));
 }
 
 CommPattern pattern_from_string(const std::string& name) {
@@ -52,7 +70,9 @@ CommPattern pattern_from_string(const std::string& name) {
   if (name == "stencil2d") return CommPattern::kStencil2D;
   if (name == "gather") return CommPattern::kGather;
   if (name == "scatter") return CommPattern::kScatter;
-  throw std::runtime_error(util::fmt("unknown communication pattern \"{}\"", name));
+  throw LoadError("", "$.pattern",
+                  "one of all-to-all|all-reduce|broadcast|ring|stencil2d|gather|scatter",
+                  util::fmt("\"{}\"", name));
 }
 
 Task task_from_json(const json::Value& value) {
@@ -68,7 +88,8 @@ Task task_from_json(const json::Value& value) {
     if (compute_target == "gpu") {
       compute.target = ComputeTarget::kGpu;
     } else if (compute_target != "cpu") {
-      throw std::runtime_error(util::fmt("unknown compute target \"{}\"", compute_target));
+      throw LoadError("", "$.target", "\"cpu\" or \"gpu\"",
+                      util::fmt("\"{}\"", compute_target));
     }
     task.payload = compute;
   } else if (type == "comm") {
@@ -88,13 +109,15 @@ Task task_from_json(const json::Value& value) {
     } else if (target == "burst-buffer" || target == "bb") {
       io.target = IoTarget::kBurstBuffer;
     } else {
-      throw std::runtime_error(util::fmt("unknown I/O target \"{}\"", target));
+      throw LoadError("", "$.target", "\"pfs\" or \"burst-buffer\"",
+                      util::fmt("\"{}\"", target));
     }
     task.payload = io;
   } else if (type == "delay") {
     task.payload = DelayTask{value.member_or("seconds", 0.0)};
   } else {
-    throw std::runtime_error(util::fmt("unknown task type \"{}\"", type));
+    throw LoadError("", "$.type", "one of compute|comm|io|delay",
+                    util::fmt("\"{}\"", type));
   }
   return task;
 }
@@ -122,12 +145,20 @@ Phase phase_from_json(const json::Value& value) {
       static_cast<int>(value.member_or("evolving_delta", std::int64_t{0}));
   const json::Value* groups = value.find("groups");
   if (!groups || !groups->is_array()) {
-    throw std::runtime_error(util::fmt("phase '{}': missing 'groups' array", phase.name));
+    throw LoadError("", "$.groups", "an array of task groups",
+                    groups ? json::type_name(*groups) : "nothing");
   }
-  for (const json::Value& group_value : groups->as_array()) {
+  const json::Array& group_array = groups->as_array();
+  for (std::size_t g = 0; g < group_array.size(); ++g) {
+    if (!group_array[g].is_array()) {
+      throw LoadError("", util::fmt("$.groups[{}]", g), "an array of tasks",
+                      json::type_name(group_array[g]));
+    }
     TaskGroup group;
-    for (const json::Value& task_value : group_value.as_array()) {
-      group.push_back(task_from_json(task_value));
+    const json::Array& task_array = group_array[g].as_array();
+    for (std::size_t t = 0; t < task_array.size(); ++t) {
+      at_path(util::fmt("$.groups[{}][{}]", g, t),
+              [&] { group.push_back(task_from_json(task_array[t])); });
     }
     phase.groups.push_back(std::move(group));
   }
@@ -170,7 +201,7 @@ Job job_from_json(const json::Value& value) {
   if (auto parsed = job_type_from_string(type)) {
     job.type = *parsed;
   } else {
-    throw std::runtime_error(util::fmt("unknown job type \"{}\"", type));
+    throw LoadError("", "$.type", "a known job type", util::fmt("\"{}\"", type));
   }
   job.name = value.member_or("name", util::fmt("job{}", job.id));
   job.user = value.member_or("user", "unknown");
@@ -192,16 +223,19 @@ Job job_from_json(const json::Value& value) {
   }
 
   const json::Value* app = value.find("application");
-  if (!app) throw std::runtime_error(util::fmt("job {}: missing 'application'", job.id));
+  if (!app) throw LoadError("", "$.application", "an application object", "nothing");
   job.application.state_bytes_per_node = app->member_or("state_bytes_per_node", 0.0);
   const json::Value* phases = app->find("phases");
   if (!phases || !phases->is_array()) {
-    throw std::runtime_error(util::fmt("job {}: application needs a 'phases' array", job.id));
+    throw LoadError("", "$.application.phases", "an array of phases",
+                    phases ? json::type_name(*phases) : "nothing");
   }
-  for (const json::Value& phase_value : phases->as_array()) {
-    job.application.phases.push_back(phase_from_json(phase_value));
+  const json::Array& phase_array = phases->as_array();
+  for (std::size_t p = 0; p < phase_array.size(); ++p) {
+    at_path(util::fmt("$.application.phases[{}]", p),
+            [&] { job.application.phases.push_back(phase_from_json(phase_array[p])); });
   }
-  if (auto error = job.validate()) throw std::runtime_error(*error);
+  if (auto error = job.validate()) throw LoadError("", "$", "", *error);
   return job;
 }
 
@@ -216,18 +250,38 @@ json::Value workload_to_json(const std::vector<Job>& jobs) {
 std::vector<Job> workload_from_json(const json::Value& value) {
   const json::Value* jobs = value.find("jobs");
   if (!jobs || !jobs->is_array()) {
-    throw std::runtime_error("workload: missing top-level 'jobs' array");
+    throw LoadError("", "$.jobs", "an array of jobs",
+                    jobs ? json::type_name(*jobs)
+                         : (value.is_object() ? "nothing" : json::type_name(value)));
   }
+  const json::Array& job_array = jobs->as_array();
   std::vector<Job> out;
-  out.reserve(jobs->as_array().size());
-  for (const json::Value& job_value : jobs->as_array()) {
-    out.push_back(job_from_json(job_value));
+  out.reserve(job_array.size());
+  for (std::size_t i = 0; i < job_array.size(); ++i) {
+    at_path(util::fmt("$.jobs[{}]", i),
+            [&] { out.push_back(job_from_json(job_array[i])); });
   }
   return out;
 }
 
 std::vector<Job> load_workload(const std::string& path) {
-  return workload_from_json(json::parse_file(path));
+  json::Value value;
+  try {
+    value = json::parse_file(path);
+  } catch (const json::ParseError& error) {
+    throw LoadError(path, "$", "valid JSON",
+                    util::fmt("parse error at line {} column {}: {}", error.line(),
+                              error.column(), error.what()));
+  } catch (const LoadError&) {
+    throw;
+  } catch (const std::exception& error) {
+    throw LoadError(path, "", "", error.what());
+  }
+  try {
+    return workload_from_json(value);
+  } catch (const LoadError& error) {
+    throw error.with_file(path);
+  }
 }
 
 void save_workload(const std::string& path, const std::vector<Job>& jobs) {

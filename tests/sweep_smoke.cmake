@@ -1,0 +1,155 @@
+# `elastisim sweep` end-to-end smoke, run as a CTest script:
+#   cmake -DELASTISIM=<binary> -DELASTISIM_GEN=<binary> -DPLATFORM=<json>
+#         -DWORKLOAD=<json> -DOUT_DIR=<dir> -P sweep_smoke.cmake
+#
+# Generates a second workload, expands a 2x2x2 grid (1 platform x 2 workloads
+# x 2 schedulers x 2 seeds) on 4 threads with one injected-crash cell, and
+# asserts the fault-tolerance contract end to end:
+#   - exit code 3 (partial success), sweep.json has "partial": true,
+#   - the crashed cell reports status "crashed" with the retry attempts the
+#     spec allows; every other cell is "ok",
+#   - totals account for every cell,
+#   - per-cell jobs.csv artifacts are byte-identical between the 4-thread run
+#     and a --threads 1 rerun (scheduling determinism across pool sizes),
+#   - a clean sweep (no injection) exits 0 with "partial": false,
+#   - a malformed spec fails with exit 2 and a diagnostic naming the file.
+cmake_minimum_required(VERSION 3.19)
+
+foreach(var ELASTISIM ELASTISIM_GEN PLATFORM WORKLOAD OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sweep_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+# Second workload axis: a generated malleable mix.
+execute_process(
+  COMMAND ${ELASTISIM_GEN} --jobs 10 --malleable 0.5 --seed 11
+          --out ${OUT_DIR}/gen_workload.json
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "sweep_smoke: elastisim-gen exited ${exit_code}\n"
+                      "${stdout_text}\n${stderr_text}")
+endif()
+
+# The 2x2x2 spec: tight timeouts are generous vs. the seconds-scale cells,
+# and the retry budget lets the injected crash consume 2 attempts.
+file(WRITE ${OUT_DIR}/sweep.spec.json "{
+  \"platforms\": [\"${PLATFORM}\"],
+  \"workloads\": [\"${WORKLOAD}\", \"${OUT_DIR}/gen_workload.json\"],
+  \"schedulers\": [\"fcfs\", \"easy-malleable\"],
+  \"seeds\": [1, 2],
+  \"timeout\": \"120s\",
+  \"stall_timeout\": \"60s\",
+  \"retry\": {\"max_attempts\": 2, \"backoff\": \"10ms\"}
+}")
+
+# --- Partial run: 8 cells on 4 threads, cell 3 crashes every attempt --------
+execute_process(
+  COMMAND ${ELASTISIM} sweep ${OUT_DIR}/sweep.spec.json
+          --threads 4 --out-dir ${OUT_DIR}/par --inject-crash 3
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 3)
+  message(FATAL_ERROR "sweep_smoke: partial sweep exited ${exit_code} (want 3)\n"
+                      "${stdout_text}\n${stderr_text}")
+endif()
+
+set(sweep_json "${OUT_DIR}/par/sweep.json")
+if(NOT EXISTS ${sweep_json})
+  message(FATAL_ERROR "sweep_smoke: ${sweep_json} was not written")
+endif()
+file(READ ${sweep_json} sweep_text)
+string(JSON schema GET "${sweep_text}" schema)
+if(NOT schema STREQUAL "elastisim-sweep-v1")
+  message(FATAL_ERROR "sweep_smoke: unexpected schema \"${schema}\"")
+endif()
+string(JSON partial GET "${sweep_text}" partial)
+if(NOT partial STREQUAL "ON" AND NOT partial STREQUAL "true")
+  message(FATAL_ERROR "sweep_smoke: expected \"partial\": true, got ${partial}")
+endif()
+
+# Totals must account for every cell: 7 ok + 1 crashed (2 attempts).
+string(JSON total_cells GET "${sweep_text}" totals cells)
+string(JSON total_ok GET "${sweep_text}" totals ok)
+string(JSON total_crashed GET "${sweep_text}" totals crashed)
+if(NOT total_cells EQUAL 8 OR NOT total_ok EQUAL 7 OR NOT total_crashed EQUAL 1)
+  message(FATAL_ERROR "sweep_smoke: totals wrong: cells=${total_cells} ok=${total_ok} "
+                      "crashed=${total_crashed} (want 8/7/1)")
+endif()
+string(JSON crash_status GET "${sweep_text}" cells 3 status)
+string(JSON crash_attempts GET "${sweep_text}" cells 3 attempts)
+if(NOT crash_status STREQUAL "crashed" OR NOT crash_attempts EQUAL 2)
+  message(FATAL_ERROR "sweep_smoke: cell 3 is ${crash_status}/${crash_attempts} attempts "
+                      "(want crashed/2)")
+endif()
+
+# --- Determinism: serial rerun must reproduce every surviving cell ----------
+execute_process(
+  COMMAND ${ELASTISIM} sweep ${OUT_DIR}/sweep.spec.json
+          --threads 1 --out-dir ${OUT_DIR}/ser --inject-crash 3
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 3)
+  message(FATAL_ERROR "sweep_smoke: serial sweep exited ${exit_code} (want 3)\n"
+                      "${stdout_text}\n${stderr_text}")
+endif()
+foreach(cell IN ITEMS 000 001 002 004 005 006 007)
+  set(file_par "${OUT_DIR}/par/cells/${cell}/jobs.csv")
+  set(file_ser "${OUT_DIR}/ser/cells/${cell}/jobs.csv")
+  foreach(file IN ITEMS ${file_par} ${file_ser})
+    if(NOT EXISTS ${file})
+      message(FATAL_ERROR "sweep_smoke: ${file} was not written")
+    endif()
+  endforeach()
+  file(SHA256 ${file_par} hash_par)
+  file(SHA256 ${file_ser} hash_ser)
+  if(NOT hash_par STREQUAL hash_ser)
+    message(FATAL_ERROR "sweep_smoke: cell ${cell} jobs.csv differs between "
+                        "--threads 4 and --threads 1\n"
+                        "  ${file_par}: ${hash_par}\n  ${file_ser}: ${hash_ser}")
+  endif()
+endforeach()
+# The crashed cell must not leave artifacts behind.
+if(EXISTS "${OUT_DIR}/par/cells/003/jobs.csv")
+  message(FATAL_ERROR "sweep_smoke: crashed cell 3 left a jobs.csv artifact")
+endif()
+
+# --- Clean run: no injection, everything succeeds, exit 0 -------------------
+execute_process(
+  COMMAND ${ELASTISIM} sweep ${OUT_DIR}/sweep.spec.json
+          --threads 4 --out-dir ${OUT_DIR}/clean
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "sweep_smoke: clean sweep exited ${exit_code} (want 0)\n"
+                      "${stdout_text}\n${stderr_text}")
+endif()
+file(READ ${OUT_DIR}/clean/sweep.json clean_text)
+string(JSON clean_partial GET "${clean_text}" partial)
+if(clean_partial STREQUAL "ON" OR clean_partial STREQUAL "true")
+  message(FATAL_ERROR "sweep_smoke: clean sweep reported partial")
+endif()
+
+# --- Error hardening: malformed spec exits 2 with a file-naming diagnostic --
+file(WRITE ${OUT_DIR}/bad.spec.json "{\"platforms\": [\"${PLATFORM}\"]}")
+execute_process(
+  COMMAND ${ELASTISIM} sweep ${OUT_DIR}/bad.spec.json --out-dir ${OUT_DIR}/bad
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 2)
+  message(FATAL_ERROR "sweep_smoke: malformed spec exited ${exit_code} (want 2)")
+endif()
+if(NOT stderr_text MATCHES "workloads")
+  message(FATAL_ERROR "sweep_smoke: malformed-spec diagnostic does not name the "
+                      "missing member:\n${stderr_text}")
+endif()
+if(EXISTS "${OUT_DIR}/bad/sweep.json")
+  message(FATAL_ERROR "sweep_smoke: failed sweep left a partial sweep.json")
+endif()
+
+message(STATUS "sweep_smoke: partial accounting, crash isolation, pool-size "
+               "byte-identity, and spec diagnostics all hold")

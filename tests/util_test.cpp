@@ -337,6 +337,56 @@ TEST(Flags, UnusedDetectsTypos) {
   EXPECT_EQ(unused[0], "nodse");
 }
 
+TEST(Flags, DuplicatesRecordedLastValueWins) {
+  const char* argv[] = {"prog", "--seed=1", "--n=2", "--seed=9"};
+  Flags flags(4, argv);
+  EXPECT_EQ(flags.get("seed", std::int64_t{0}), 9);
+  ASSERT_EQ(flags.duplicates().size(), 1u);
+  EXPECT_EQ(flags.duplicates()[0], "seed");
+}
+
+TEST(Flags, EditDistance) {
+  EXPECT_EQ(Flags::edit_distance("scheduler", "scheduler"), 0u);
+  EXPECT_EQ(Flags::edit_distance("schedular", "scheduler"), 1u);
+  EXPECT_EQ(Flags::edit_distance("sched", "scheduler"), 4u);
+  EXPECT_EQ(Flags::edit_distance("", "abc"), 3u);
+  EXPECT_EQ(Flags::edit_distance("kitten", "sitting"), 3u);
+}
+
+TEST(Flags, UnknownWithSuggestionsFindsCloseName) {
+  const char* argv[] = {"prog", "--schedular=fcfs"};
+  Flags flags(2, argv);
+  flags.get("scheduler", std::string());
+  const auto unknown = flags.unknown_with_suggestions();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].first, "schedular");
+  EXPECT_EQ(unknown[0].second, "scheduler");
+}
+
+TEST(Flags, UnknownWithSuggestionsSkipsFarNames) {
+  const char* argv[] = {"prog", "--frobnicate=1"};
+  Flags flags(2, argv);
+  flags.get("scheduler", std::string());
+  const auto unknown = flags.unknown_with_suggestions();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].first, "frobnicate");
+  EXPECT_EQ(unknown[0].second, "");
+}
+
+TEST(Flags, NoteKnownSuppressesUnknownAndFeedsSuggestions) {
+  const char* argv[] = {"prog", "--swf-maleable=0.5"};
+  Flags flags(2, argv);
+  flags.note_known({"swf-malleable", "swf-cores-per-node"});
+  const auto unknown = flags.unknown_with_suggestions();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0].second, "swf-malleable");
+  // And a noted name itself is never reported unknown.
+  const char* argv2[] = {"prog", "--swf-malleable=0.5"};
+  Flags flags2(2, argv2);
+  flags2.note_known({"swf-malleable"});
+  EXPECT_TRUE(flags2.unknown_with_suggestions().empty());
+}
+
 // ---------------------------------------------------------------------------
 // Log
 // ---------------------------------------------------------------------------

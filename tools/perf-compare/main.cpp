@@ -1,6 +1,7 @@
 // perf-compare — diff two BENCH_perf.json performance trajectories.
 //
 //   perf-compare <baseline.json> <candidate.json> [--threshold 0.30]
+//                [--json <deltas.json>]
 //
 // Matches cells by (jobs, scheduler), prints per-cell percentage deltas for
 // events/sec, wall seconds per 10k jobs, and peak RSS, and exits non-zero if
@@ -9,6 +10,10 @@
 // docs/OBSERVABILITY.md for why it is this loose). Mismatched build
 // provenance (compiler, flags, build type) only warns: the numbers are still
 // printed, but the regression verdict is unreliable across builds.
+//
+// --json writes the same comparison machine-readably (schema
+// "elastisim-perf-compare-v1": per-cell baseline/candidate values and
+// ratios plus the verdict) so CI can archive deltas alongside artifacts.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -79,11 +84,16 @@ int main(int argc, char** argv) {
   if (positional.size() != 2) {
     std::fprintf(stderr,
                  "usage: %s <baseline BENCH_perf.json> <candidate BENCH_perf.json> "
-                 "[--threshold 0.30]\n",
+                 "[--threshold 0.30] [--json <deltas.json>]\n",
                  flags.program().c_str());
     return 2;
   }
   const double threshold = flags.get("threshold", 0.30);
+  const std::string json_path = flags.get("json", std::string());
+  if (flags.has("json") && (json_path.empty() || json_path == "true")) {
+    std::fprintf(stderr, "error: --json requires a file path\n");
+    return 2;
+  }
 
   json::Value baseline;
   json::Value candidate;
@@ -114,6 +124,7 @@ int main(int argc, char** argv) {
               "cand ev/s", "ev/s", "s/10k", "rss");
   bool regressed = false;
   std::size_t matched = 0;
+  json::Array delta_cells;
   for (const json::Value& base_cell : base_cells->as_array()) {
     CellKey key{base_cell.member_or("jobs", std::int64_t{0}),
                 base_cell.member_or("scheduler", std::string())};
@@ -135,16 +146,50 @@ int main(int argc, char** argv) {
                 delta_percent(base_cell.member_or("peak_rss_bytes", 0.0),
                               cand_cell->member_or("peak_rss_bytes", 0.0))
                     .c_str());
-    if (base_eps > 0.0 && cand_eps < base_eps * (1.0 - threshold)) {
+    const bool cell_regressed =
+        base_eps > 0.0 && cand_eps < base_eps * (1.0 - threshold);
+    if (cell_regressed) {
       std::fprintf(stderr, "regression: (%lld, %s) events/sec %.0f -> %.0f (> %.0f%% slower)\n",
                    static_cast<long long>(key.jobs), key.scheduler.c_str(), base_eps,
                    cand_eps, 100.0 * threshold);
       regressed = true;
     }
+    json::Object entry;
+    entry["scheduler"] = key.scheduler;
+    entry["jobs"] = key.jobs;
+    json::Object metrics;
+    for (const char* metric :
+         {"events_per_second", "wall_s_per_10k_jobs", "peak_rss_bytes"}) {
+      const double base_value = base_cell.member_or(metric, 0.0);
+      const double cand_value = cand_cell->member_or(metric, 0.0);
+      json::Object pair;
+      pair["baseline"] = base_value;
+      pair["candidate"] = cand_value;
+      pair["ratio"] = std::fabs(base_value) > 1e-12 ? cand_value / base_value : 0.0;
+      metrics[metric] = json::Value(std::move(pair));
+    }
+    entry["metrics"] = json::Value(std::move(metrics));
+    entry["regressed"] = cell_regressed;
+    delta_cells.emplace_back(std::move(entry));
   }
   if (matched == 0) {
     std::fprintf(stderr, "error: no cells matched between the two files\n");
     return 2;
+  }
+  if (!json_path.empty()) {
+    json::Object out;
+    out["schema"] = "elastisim-perf-compare-v1";
+    out["threshold"] = threshold;
+    out["matched_cells"] = matched;
+    out["regressed"] = regressed;
+    out["cells"] = json::Value(std::move(delta_cells));
+    try {
+      json::write_file(json_path, json::Value(std::move(out)));
+      std::printf("wrote %s\n", json_path.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 2;
+    }
   }
   if (regressed) {
     std::fprintf(stderr, "FAIL: events/sec regressed beyond %.0f%% tolerance\n",
