@@ -39,10 +39,12 @@
 #include <optional>
 
 #include "cli/inspect.h"
+#include "cli/postmortem.h"
 #include "cli/profile.h"
 #include "cli/report.h"
 #include "cli/sweep.h"
 #include "core/fault_injector.h"
+#include "core/flight_recorder.h"
 #include "core/invariant_checker.h"
 #include "core/simulation.h"
 #include "json/json.h"
@@ -78,6 +80,7 @@ void usage(const char* program) {
                "   or: %s inspect --diff <a.jsonl> <b.jsonl>\n"
                "   or: %s report <out-dir> [--out <report.html>]\n"
                "   or: %s profile <profile.json> [--top <n>]\n"
+               "   or: %s postmortem <postmortem.json>\n"
                "failures: [--mtbf <duration>] [--failure-dist exponential|weibull]\n"
                "          [--weibull-shape <k>] [--repair <duration>]\n"
                "          [--repair-dist constant|lognormal] [--repair-sigma <s>]\n"
@@ -87,7 +90,7 @@ void usage(const char* program) {
                "          [--failure-policy kill|requeue|requeue-restart]\n"
                "          [--restart-overhead <duration>] [--max-requeues <n>]\n\n"
                "schedulers:",
-               program, program, program, program, program, program);
+               program, program, program, program, program, program, program);
   for (const std::string& name : core::scheduler_names()) {
     std::fprintf(stderr, " %s", name.c_str());
   }
@@ -157,6 +160,9 @@ int main(int argc, char** argv) {
   if (!flags.positional().empty() && flags.positional().front() == "profile") {
     return cli::run_profile(flags);
   }
+  if (!flags.positional().empty() && flags.positional().front() == "postmortem") {
+    return cli::run_postmortem(flags);
+  }
   if (!flags.positional().empty() && flags.positional().front() == "sweep") {
     return cli::run_sweep(flags);
   }
@@ -196,6 +202,16 @@ int main(int argc, char** argv) {
     }
     stats::profiler::set_enabled(true);
   }
+
+  // Hoisted above the try so the exception handlers can name the postmortem
+  // destination.
+  const std::string out_dir = flags.get("out-dir", std::string("results"));
+  // Always-on black box (disable with ELSIM_FLIGHT=0): the ring of recent
+  // engine/scheduler/job activity that postmortem.json decodes after an
+  // abnormal end. Armed before setup so config parsing is on record too.
+  core::FlightRecorder* flight =
+      core::FlightRecorder::enabled() ? &core::FlightRecorder::thread_current() : nullptr;
+  if (flight != nullptr) flight->arm_phase_tap();
 
   try {
     // Everything up to job submission bills to the "setup" phase; the scope
@@ -288,7 +304,15 @@ int main(int argc, char** argv) {
       std::printf("wrote %zu failure events to %s\n", failures.size(), save_failures.c_str());
     }
 
-    const std::string out_dir = flags.get("out-dir", std::string("results"));
+    if (flight != nullptr) {
+      flight->set_context("platform", platform_path);
+      flight->set_context("workload", !workload_path.empty() ? workload_path : swf_path);
+      flight->set_context("scheduler", config.scheduler);
+      // The signal handler can O_CREAT the file but not its directories.
+      std::filesystem::create_directories(out_dir);
+      core::FlightRecorder::install_crash_handler(flight, out_dir + "/postmortem.json");
+    }
+
     const bool want_trace = flags.get("trace", false);
     const std::string chrome_path = flags.get("chrome-trace", std::string());
     // A bare "--chrome-trace" parses as the boolean value "true"; demand a
@@ -363,7 +387,14 @@ int main(int argc, char** argv) {
         batch.set_invariant_checker(&checker);
       }
       core::FaultInjector::apply(batch, failures);
+      if (flight != nullptr) {
+        engine.set_event_hook(&core::FlightRecorder::engine_event_hook, flight);
+        batch.set_flight_recorder(flight);
+      }
       result.submitted = batch.submit_all(std::move(jobs));
+      if (flight != nullptr) {
+        flight->note_mark(engine.now(), core::FlightMark::kRunBegin, result.submitted);
+      }
       setup_scope.reset();
       // Ctrl-C stops the engine between events; every sink below still
       // flushes, so an interrupted run leaves complete (partial) artifacts.
@@ -374,6 +405,15 @@ int main(int argc, char** argv) {
       engine.run();
       std::signal(SIGINT, SIG_DFL);
       std::signal(SIGTERM, SIG_DFL);
+      if (flight != nullptr) {
+        if (g_run_token.cancelled()) {
+          flight->note_cancel(engine.now(), static_cast<int>(g_run_token.reason()),
+                              engine.events_processed());
+        } else {
+          flight->note_mark(engine.now(), core::FlightMark::kRunEnd,
+                            engine.events_processed());
+        }
+      }
       result.cancelled = engine.cancel_requested();
       result.wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin)
@@ -478,6 +518,11 @@ int main(int argc, char** argv) {
                    "warning: run interrupted after %llu events; artifacts describe a "
                    "partial run (summary.json has \"partial\": true)\n",
                    static_cast<unsigned long long>(result.events_processed));
+      if (flight != nullptr) {
+        flight->write_postmortem(out_dir + "/postmortem.json", "interrupted",
+                                 "SIGINT/SIGTERM during run");
+        std::fprintf(stderr, "wrote %s/postmortem.json\n", out_dir.c_str());
+      }
       return 130;
     }
     if (result.stuck > 0) {
@@ -500,11 +545,31 @@ int main(int argc, char** argv) {
   } catch (const util::LoadError& error) {
     // Malformed platform/workload input: the structured diagnostic names the
     // file, the JSON path, and expected-vs-found. Loading happens before any
-    // sink opens, so no partial output files exist.
+    // sink opens, so no partial output files exist (and a postmortem would
+    // only echo the message back).
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;
+  } catch (const core::InvariantViolation& error) {
+    std::fprintf(stderr, "error: invariant violation: %s\n", error.what());
+    if (flight != nullptr) {
+      try {
+        flight->write_postmortem(out_dir + "/postmortem.json", "invariant-violation",
+                                 error.what());
+        std::fprintf(stderr, "wrote %s/postmortem.json\n", out_dir.c_str());
+      } catch (...) {
+        // A postmortem that cannot be written must not mask the failure.
+      }
+    }
+    return 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
+    if (flight != nullptr) {
+      try {
+        flight->write_postmortem(out_dir + "/postmortem.json", "exception", error.what());
+        std::fprintf(stderr, "wrote %s/postmortem.json\n", out_dir.c_str());
+      } catch (...) {
+      }
+    }
     return 1;
   }
 }

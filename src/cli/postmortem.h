@@ -1,0 +1,16 @@
+#pragma once
+
+namespace elastisim::util {
+class Flags;
+}
+
+namespace elastisim::cli {
+
+/// `elastisim postmortem <postmortem.json>`: renders a flight-recorder crash
+/// dump as a human-readable report — cause, build/context provenance, the
+/// phase stack at death, the queue/cluster snapshot, a timeline of notable
+/// records, and the last 20 events before death. Exits non-zero on missing,
+/// malformed, or wrong-schema input.
+int run_postmortem(const util::Flags& flags);
+
+}  // namespace elastisim::cli

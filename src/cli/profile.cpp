@@ -1,6 +1,8 @@
 #include "cli/profile.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -50,8 +52,23 @@ int run_profile(const util::Flags& flags) {
     return 2;
   }
   const std::string& path = positional[1];
-  const auto top = static_cast<std::size_t>(
-      std::max<std::int64_t>(1, flags.get("top", std::int64_t{16})));
+  // Parse --top from the raw string: Flags::get would silently fall back to
+  // the default on junk like "--top banana" or "--top 0", which hides typos.
+  std::size_t top = 16;
+  if (flags.has("top")) {
+    const std::string raw = flags.get("top", std::string());
+    std::int64_t parsed = 0;
+    const char* end = raw.data() + raw.size();
+    const auto [ptr, ec] = std::from_chars(raw.data(), end, parsed);
+    if (raw.empty() || ec != std::errc() || ptr != end || parsed <= 0) {
+      std::fprintf(stderr, "error: --top expects a positive integer, got \"%s\"\n",
+                   raw.c_str());
+      std::fprintf(stderr, "usage: %s profile <profile.json> [--top <n>]\n",
+                   flags.program().c_str());
+      return 2;
+    }
+    top = static_cast<std::size_t>(parsed);
+  }
 
   json::Value root;
   try {

@@ -13,6 +13,7 @@
 
 #include "core/sweep_runner.h"
 #include "json/json.h"
+#include "stats/profiler.h"
 #include "util/flags.h"
 #include "util/load_error.h"
 
@@ -29,7 +30,7 @@ void handle_sweep_signal(int) { g_sweep_interrupt.store(true, std::memory_order_
 void usage(const char* program) {
   std::fprintf(stderr,
                "usage: %s sweep <sweep.json> [--threads <n>] [--out-dir <dir>]\n"
-               "          [--cell-outputs true|false]\n"
+               "          [--cell-outputs true|false] [--progress]\n"
                "          [--inject-crash <i,j,...>] [--inject-stall <i,j,...>]\n",
                program);
 }
@@ -122,6 +123,7 @@ int run_sweep(const util::Flags& flags) {
   const std::string spec_path = flags.positional()[1];
   const std::string out_dir = flags.get("out-dir", std::string("sweep-results"));
   const bool cell_outputs = flags.get("cell-outputs", true);
+  const bool progress = flags.get("progress", false);
   const std::size_t hardware =
       std::max<std::size_t>(1, std::thread::hardware_concurrency());
   const std::size_t threads = static_cast<std::size_t>(
@@ -160,6 +162,7 @@ int run_sweep(const util::Flags& flags) {
   options.threads = threads;
   if (cell_outputs) options.cell_output_dir = out_dir;
   options.interrupt = &g_sweep_interrupt;
+  options.progress = progress;
 
   core::SweepRunner runner(std::move(spec), std::move(options));
   try {
@@ -178,11 +181,15 @@ int run_sweep(const util::Flags& flags) {
     runner.set_cell_body([&runner, crash_cells, stall_cells](
                              const core::SweepCell& cell, sim::CancellationToken& token) {
       if (crash_cells.count(cell.index) != 0) {
+        // Die inside a profiled phase so the flight recorder's postmortem
+        // names the dying phase, like a real scheduler crash would.
+        ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kScheduler);
         throw std::runtime_error("injected crash in cell " + std::to_string(cell.index));
       }
       if (stall_cells.count(cell.index) != 0) {
         // Burn wall-clock without event progress until the stall watchdog
         // (or a timeout/interrupt) cancels the token.
+        ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kScheduler);
         while (!token.cancelled()) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
         }

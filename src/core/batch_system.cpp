@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "core/flight_recorder.h"
 #include "core/invariant_checker.h"
 #include "stats/chrome_trace.h"
 #include "stats/profiler.h"
@@ -127,12 +128,14 @@ void BatchSystem::enter_queue(JobId id) {
   }
   if (!job.outstanding_deps.empty()) {
     job.state = JobState::kHeld;
+    if (flight_) flight_->note_job_state(engine_->now(), FlightJobState::kHeld, id);
     ++held_;
     ELSIM_DEBUG("t={} job {} held on {} dependencies", engine_->now(), id,
                 job.outstanding_deps.size());
     return;
   }
   job.state = JobState::kQueued;
+  if (flight_) flight_->note_job_state(engine_->now(), FlightJobState::kQueued, id);
   queue_order_.push_back(id);
   arm_timer();
   arm_sample_timer();
@@ -154,6 +157,7 @@ void BatchSystem::resolve_dependents(JobId id, bool succeeded) {
     if (child.outstanding_deps.empty()) {
       --held_;
       child.state = JobState::kQueued;
+      if (flight_) flight_->note_job_state(engine_->now(), FlightJobState::kQueued, child_id);
       queue_order_.push_back(child_id);
       ELSIM_DEBUG("t={} job {} released into the queue", engine_->now(), child_id);
       arm_timer();
@@ -170,6 +174,7 @@ void BatchSystem::cancel_job(Managed& job) {
     queue_order_.erase(std::find(queue_order_.begin(), queue_order_.end(), id));
   }
   job.state = JobState::kCancelled;
+  if (flight_) flight_->note_job_state(engine_->now(), FlightJobState::kCancelled, id);
   recorder_->on_cancel(id, engine_->now());
   trace(stats::TraceEvent::kCancel, id, "dependency failed");
   ELSIM_INFO("t={} job {} cancelled (dependency failed)", engine_->now(), id);
@@ -291,6 +296,11 @@ void BatchSystem::start_job(JobId id, int nodes) {
 
   queue_order_.erase(std::find(queue_order_.begin(), queue_order_.end(), id));
   job.state = JobState::kRunning;
+  ++starts_total_;
+  if (flight_) {
+    flight_->note_job_state(engine_->now(), FlightJobState::kRunning, id,
+                            static_cast<std::uint32_t>(nodes));
+  }
   job.start_time = engine_->now();
   job.nodes = take_free_nodes(nodes);
   running_order_.push_back(id);
@@ -365,6 +375,10 @@ void BatchSystem::handle_boundary(JobId id, int evolving_delta) {
 void BatchSystem::process_boundary(JobId id) {
   Managed& job = managed(id);
   if (job.state != JobState::kAtBoundary) return;  // killed meanwhile
+  if (flight_) {
+    flight_->note_job_state(engine_->now(), FlightJobState::kBoundary, id,
+                            static_cast<std::uint32_t>(job.nodes.size()));
+  }
 
   if (job.boundary_delta != 0 && job.job.type == workload::JobType::kEvolving) {
     const int current = static_cast<int>(job.nodes.size());
@@ -467,6 +481,7 @@ void BatchSystem::handle_completion(JobId id) {
     job.walltime_event = sim::kInvalidEventId;
   }
   job.state = JobState::kFinished;
+  if (flight_) flight_->note_job_state(engine_->now(), FlightJobState::kFinished, id);
   release_all_nodes(job);
   running_order_.erase(std::find(running_order_.begin(), running_order_.end(), id));
   recorder_->on_finish(id, engine_->now(), /*killed=*/false);
@@ -485,6 +500,7 @@ void BatchSystem::handle_walltime(JobId id) {
   job.walltime_event = sim::kInvalidEventId;
   job.execution->abort();
   job.state = JobState::kKilled;
+  if (flight_) flight_->note_job_state(engine_->now(), FlightJobState::kKilled, id);
   release_all_nodes(job);
   running_order_.erase(std::find(running_order_.begin(), running_order_.end(), id));
   recorder_->on_finish(id, engine_->now(), /*killed=*/true);
@@ -569,6 +585,7 @@ void BatchSystem::fail_node(platform::NodeId node, double repair_time) {
     drain_on_repair_.insert(node);
   }
   ELSIM_INFO("t={} node {} failed", engine_->now(), node);
+  if (flight_) flight_->note_fault(engine_->now(), FlightFault::kNodeFail, node);
   trace(stats::TraceEvent::kNodeFail, 0, util::fmt("node {}", node));
   if (chrome_) chrome_->instant(util::fmt("node {} failed", node), engine_->now());
   if (free_nodes_.erase(node) > 0) {
@@ -595,6 +612,7 @@ void BatchSystem::restore_node(platform::NodeId node) {
   if (failed_nodes_.erase(node) == 0) return;
   repair_until_.erase(node);
   ELSIM_INFO("t={} node {} restored", engine_->now(), node);
+  if (flight_) flight_->note_fault(engine_->now(), FlightFault::kNodeRepair, node);
   trace(stats::TraceEvent::kNodeRestore, 0, util::fmt("node {}", node));
   if (chrome_) chrome_->instant(util::fmt("node {} restored", node), engine_->now());
   if (drain_on_repair_.erase(node) > 0) {
@@ -619,6 +637,7 @@ void BatchSystem::drain_node(platform::NodeId node, double when, double until) {
 void BatchSystem::start_drain(platform::NodeId node) {
   ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kFault);
   if (drained_nodes_.count(node) || drain_pending_.count(node)) return;
+  if (flight_) flight_->note_fault(engine_->now(), FlightFault::kNodeDrain, node);
   if (free_nodes_.erase(node) > 0) {
     drained_nodes_.insert(node);
     ELSIM_INFO("t={} node {} drained (was idle)", engine_->now(), node);
@@ -634,6 +653,7 @@ void BatchSystem::undrain_node(platform::NodeId node) {
   if (drain_pending_.erase(node) > 0) return;  // never left service
   if (drain_on_repair_.erase(node) > 0) return;  // still failed; repair frees it
   if (drained_nodes_.erase(node) == 0) return;
+  if (flight_) flight_->note_fault(engine_->now(), FlightFault::kNodeUndrain, node);
   free_nodes_.insert(node);
   ELSIM_INFO("t={} node {} back in service", engine_->now(), node);
   invoke_scheduler(stats::JournalCause::kMaintenance);
@@ -644,6 +664,7 @@ void BatchSystem::kill_evicted_job(Managed& job, const std::string& reason,
   const JobId id = job.job.id;
   ELSIM_INFO("t={} job {} killed ({})", engine_->now(), id, reason);
   job.state = JobState::kKilled;
+  if (flight_) flight_->note_job_state(engine_->now(), FlightJobState::kKilled, id);
   recorder_->on_finish(id, engine_->now(), /*killed=*/true);
   const std::uint64_t kill_seq = trace(stats::TraceEvent::kWalltimeKill, id, reason);
   journal_verdict(id, stats::VerdictAction::kKilled, journal_reason, 0, kill_seq, reason);
@@ -692,6 +713,10 @@ void BatchSystem::evict_job(Managed& job, platform::NodeId failed_node) {
   ELSIM_INFO("t={} job {} requeued after node failure ({} node-seconds lost)", now, id,
              lost_node_seconds);
   job.state = JobState::kQueued;
+  if (flight_) {
+    flight_->note_job_state(now, FlightJobState::kRequeued, id,
+                            static_cast<std::uint32_t>(allocation));
+  }
   job.execution.reset();
   job.start_time = -1.0;
   recorder_->on_requeue(id, now, lost_node_seconds, lost_seconds);
@@ -741,6 +766,7 @@ void BatchSystem::invoke_scheduler(stats::JournalCause cause) {
                     static_cast<int>(running_order_.size()), free_nodes(), total_nodes());
   }
   int rounds = 0;
+  const std::uint64_t starts_before = starts_total_;
   {
     ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kScheduler);
     do {
@@ -756,6 +782,25 @@ void BatchSystem::invoke_scheduler(stats::JournalCause cause) {
   }
   ++scheduler_invocations_;
   scheduler_rounds_ += static_cast<std::uint64_t>(rounds);
+  if (flight_) {
+    const std::uint64_t started = starts_total_ - starts_before;
+    flight_->note_scheduler_invoke(engine_->now(),
+                                   static_cast<std::uint16_t>(cause),
+                                   static_cast<std::uint32_t>(queue_order_.size()),
+                                   static_cast<std::uint32_t>(rounds),
+                                   static_cast<std::uint32_t>(started));
+    FlightSnapshot snapshot;
+    snapshot.sim_time = engine_->now();
+    snapshot.events = engine_->events_processed();
+    snapshot.pending_events = engine_->pending_events();
+    snapshot.jobs_queued = static_cast<std::uint32_t>(queue_order_.size());
+    snapshot.jobs_running = static_cast<std::uint32_t>(running_order_.size());
+    snapshot.nodes_free = static_cast<std::uint32_t>(free_nodes_.size());
+    snapshot.nodes_failed = static_cast<std::uint32_t>(failed_nodes_.size());
+    snapshot.nodes_drained = static_cast<std::uint32_t>(drained_nodes_.size());
+    snapshot.nodes_total = static_cast<std::uint32_t>(total_nodes());
+    flight_->set_snapshot(snapshot);
+  }
   {
     ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kSinks);
     if (journal_) {

@@ -48,6 +48,7 @@ class StateSampler;
 
 namespace elastisim::core {
 
+class FlightRecorder;
 class InvariantChecker;
 
 /// How the batch system maps a node-count decision onto concrete nodes.
@@ -137,6 +138,13 @@ class BatchSystem final : public SchedulerContext {
   /// InvariantViolation on the first breach. Pass nullptr to detach; absent,
   /// the cost is one branch per scheduling point. See docs/ANALYSIS.md.
   void set_invariant_checker(InvariantChecker* checker) { checker_ = checker; }
+
+  /// Attaches the flight recorder (not owned; must outlive the batch
+  /// system): job state transitions, fault-injector actions, and one record
+  /// per scheduling point land on the black box, and the recorder's
+  /// queue/cluster snapshot is refreshed at every scheduling point. Pass
+  /// nullptr to detach; absent, each site costs one branch.
+  void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
 
   /// Test-only corruption hook: re-inserts the first node allocated to `job`
   /// into the free pool, deliberately breaking allocation conservation so
@@ -297,6 +305,7 @@ class BatchSystem final : public SchedulerContext {
   stats::StateSampler* sampler_ = nullptr;
   telemetry::ChromeTraceBuilder* chrome_ = nullptr;
   InvariantChecker* checker_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
   BatchConfig config_;
 
   // Telemetry handles (cached by ensure_telemetry; null while disabled).
@@ -339,6 +348,9 @@ class BatchSystem final : public SchedulerContext {
   std::size_t requeues_ = 0;
   std::uint64_t scheduler_invocations_ = 0;
   std::uint64_t scheduler_rounds_ = 0;
+  /// Lifetime job starts (always counted); invoke_scheduler diffs it across
+  /// one scheduling point to get the flight record's started-count payload.
+  std::uint64_t starts_total_ = 0;
   std::size_t unfinished_ = 0;  // queued + running; timer stops at zero
 
   bool in_scheduler_ = false;

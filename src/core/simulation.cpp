@@ -7,6 +7,7 @@
 #include <string_view>
 
 #include "core/fault_injector.h"
+#include "core/flight_recorder.h"
 #include "core/invariant_checker.h"
 #include "sim/cancellation.h"
 #include "stats/profiler.h"
@@ -20,6 +21,21 @@ bool validate_env_enabled() {
   const char* env = std::getenv("ELSIM_VALIDATE");
   return env != nullptr && *env != '\0' && std::string_view(env) != "0";
 }
+
+/// Routes this thread's profiler phase transitions into `recorder` for the
+/// lifetime of the scope, restoring whatever hook was installed before (the
+/// caller may hold a longer-lived tap, e.g. the CLI's process-wide one).
+class ScopedPhaseTap {
+ public:
+  explicit ScopedPhaseTap(FlightRecorder& recorder)
+      : previous_(recorder.arm_phase_tap()) {}
+  ScopedPhaseTap(const ScopedPhaseTap&) = delete;
+  ScopedPhaseTap& operator=(const ScopedPhaseTap&) = delete;
+  ~ScopedPhaseTap() { stats::profiler::set_phase_hook(previous_.first, previous_.second); }
+
+ private:
+  std::pair<stats::profiler::detail::PhaseHook, void*> previous_;
+};
 
 SimulationResult run_impl(const platform::ClusterConfig& platform,
                           std::vector<workload::Job> jobs, const RunConfig& config) {
@@ -44,11 +60,37 @@ SimulationResult run_impl(const platform::ClusterConfig& platform,
   }
   if (config.failures) FaultInjector::apply(batch, *config.failures);
 
+  // Always-on black box: this thread's flight recorder rides the engine's
+  // per-event hook, the batch system's transition sites, and the profiler
+  // phase tap for the duration of the run. Purely observational — nothing
+  // feeds back into the simulation, so determinism is untouched.
+  FlightRecorder* flight =
+      FlightRecorder::enabled() ? &FlightRecorder::thread_current() : nullptr;
+  std::optional<ScopedPhaseTap> phase_tap;
+  if (flight != nullptr) {
+    engine.set_event_hook(&FlightRecorder::engine_event_hook, flight);
+    batch.set_flight_recorder(flight);
+    phase_tap.emplace(*flight);
+    flight->set_context("scheduler", config.scheduler);
+  }
+
   result.submitted = batch.submit_all(std::move(jobs));
+  if (flight != nullptr) {
+    flight->note_mark(engine.now(), FlightMark::kRunBegin, result.submitted);
+  }
 
   const auto wall_begin = std::chrono::steady_clock::now();
   engine.run();
   const auto wall_end = std::chrono::steady_clock::now();
+
+  if (flight != nullptr) {
+    if (config.cancel != nullptr && config.cancel->cancelled()) {
+      flight->note_cancel(engine.now(), static_cast<int>(config.cancel->reason()),
+                          engine.events_processed());
+    } else {
+      flight->note_mark(engine.now(), FlightMark::kRunEnd, engine.events_processed());
+    }
+  }
 
   result.cancelled = engine.cancel_requested();
   result.finished = batch.finished_jobs();

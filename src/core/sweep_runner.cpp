@@ -10,8 +10,10 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/flight_recorder.h"
 #include "core/scheduler.h"
 #include "platform/loader.h"
+#include "stats/profiler.h"
 #include "util/fmt.h"
 #include "util/load_error.h"
 #include "util/units.h"
@@ -397,13 +399,53 @@ void SweepRunner::write_cell_outputs(const SweepCell& cell, const SimulationResu
   json::write_file((dir / "metrics.json").string(), json::Value(std::move(out)));
 }
 
+void SweepRunner::write_cell_postmortem(const SweepCell& cell, CellOutcome& outcome,
+                                        const sim::CancellationToken* token) const {
+  if (options_.cell_output_dir.empty() || !FlightRecorder::enabled()) return;
+  if (outcome.status != CellStatus::kCrashed && outcome.status != CellStatus::kStalled &&
+      outcome.status != CellStatus::kTimeout) {
+    return;
+  }
+  FlightRecorder& recorder = FlightRecorder::thread_current();
+  // An injected/stalled body may never have observed the cancellation itself;
+  // stamp the token's verdict onto the ring so the dump names the reason.
+  if (token != nullptr && token->cancelled()) {
+    recorder.note_cancel(token->sim_time(), static_cast<int>(token->reason()),
+                         token->events());
+  }
+  char index_name[32];
+  std::snprintf(index_name, sizeof(index_name), "%03zu", cell.index);
+  const std::filesystem::path path = std::filesystem::path(options_.cell_output_dir) /
+                                     "cells" / index_name / "postmortem.json";
+  try {
+    recorder.write_postmortem(path.string(), to_string(outcome.status), outcome.error);
+  } catch (const std::exception&) {
+    return;  // diagnostics must never fail the sweep
+  }
+  outcome.postmortem = util::fmt("cells/{}/postmortem.json", index_name);
+}
+
 CellOutcome SweepRunner::run_one(const SweepCell& cell, Slot& slot) {
   CellOutcome outcome;
   const Clock::time_point cell_begin = Clock::now();
   int attempt = 0;
+  std::shared_ptr<sim::CancellationToken> last_token;
   while (true) {
     ++attempt;
     auto token = std::make_shared<sim::CancellationToken>();
+    last_token = token;
+    if (FlightRecorder::enabled()) {
+      // Fresh black box per attempt: the ring then covers exactly the dying
+      // attempt, and the context names the cell it belonged to.
+      FlightRecorder& recorder = FlightRecorder::thread_current();
+      recorder.reset();
+      recorder.set_context("cell", std::to_string(cell.index));
+      recorder.set_context("platform", spec_.platforms[cell.platform_index]);
+      recorder.set_context("workload", spec_.workloads[cell.workload_index]);
+      recorder.set_context("scheduler", cell.scheduler);
+      recorder.set_context("seed", std::to_string(cell.seed));
+      recorder.set_context("attempt", std::to_string(attempt));
+    }
     {
       const std::lock_guard<std::mutex> lock(slot.mutex);
       slot.token = token;
@@ -417,6 +459,13 @@ CellOutcome SweepRunner::run_one(const SweepCell& cell, Slot& slot) {
     std::string error;
     bool have_result = false;
     SimulationResult result;
+    // Route this worker's profiler phases into its recorder for the whole
+    // attempt, so a body that dies inside a phase scope (e.g. an injected
+    // crash) leaves the dying phase on the ring. run_impl arms its own
+    // nested tap for real cells and restores this one on exit.
+    std::pair<stats::profiler::detail::PhaseHook, void*> previous_tap{nullptr, nullptr};
+    const bool tapped = FlightRecorder::enabled();
+    if (tapped) previous_tap = FlightRecorder::thread_current().arm_phase_tap();
     try {
       result = body_(cell, *token);
       have_result = true;
@@ -426,6 +475,7 @@ CellOutcome SweepRunner::run_one(const SweepCell& cell, Slot& slot) {
     } catch (...) {
       error = "unknown exception";
     }
+    if (tapped) stats::profiler::set_phase_hook(previous_tap.first, previous_tap.second);
 
     {
       const std::lock_guard<std::mutex> lock(slot.mutex);
@@ -478,6 +528,7 @@ CellOutcome SweepRunner::run_one(const SweepCell& cell, Slot& slot) {
   }
   outcome.attempts = attempt;
   outcome.duration_s = seconds_since(cell_begin);
+  write_cell_postmortem(cell, outcome, last_token.get());
   return outcome;
 }
 
@@ -498,8 +549,29 @@ void SweepRunner::worker(Slot& slot) {
 void SweepRunner::watchdog() {
   const auto period = std::chrono::duration_cast<Clock::duration>(
       std::chrono::duration<double>(std::max(options_.watchdog_period_s, 0.001)));
+  std::size_t heartbeat_done = 0;
+  Clock::time_point heartbeat_last = run_begin_;
   while (!stop_watchdog_.load(std::memory_order_relaxed)) {
     std::this_thread::sleep_for(period);
+    if (options_.progress) {
+      const Clock::time_point tick = Clock::now();
+      const std::size_t done = cells_done_.load(std::memory_order_relaxed);
+      const double since_last =
+          std::chrono::duration<double>(tick - heartbeat_last).count();
+      // Heartbeat when progress was made (rate-limited) or as a keep-alive
+      // every ~10s while long cells run.
+      if ((done != heartbeat_done && since_last >= options_.progress_period_s) ||
+          since_last >= 10.0) {
+        const double elapsed = std::chrono::duration<double>(tick - run_begin_).count();
+        const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+        const double eta =
+            rate > 0.0 ? static_cast<double>(cells_.size() - done) / rate : 0.0;
+        std::fprintf(stderr, "progress: %zu/%zu cells, %.2f cells/s, eta %.0fs\n", done,
+                     cells_.size(), rate, eta);
+        heartbeat_done = done;
+        heartbeat_last = tick;
+      }
+    }
     const bool interrupt = interrupt_requested();
     if (interrupt) interrupted_.store(true, std::memory_order_relaxed);
     const Clock::time_point now = Clock::now();
@@ -558,6 +630,7 @@ SweepResult SweepRunner::run() {
   slot_count_ = std::clamp<std::size_t>(options_.threads, 1, cells_.size());
   slots_ = std::make_unique<Slot[]>(slot_count_);
 
+  run_begin_ = Clock::now();
   std::thread guard([this] { watchdog(); });
   std::vector<std::thread> workers;
   workers.reserve(slot_count_);
@@ -567,6 +640,17 @@ SweepResult SweepRunner::run() {
   for (std::thread& thread : workers) thread.join();
   stop_watchdog_.store(true, std::memory_order_relaxed);
   guard.join();
+
+  // A closing heartbeat so even sweeps faster than the progress period emit
+  // at least one line.
+  if (options_.progress) {
+    const std::size_t done = cells_done_.load(std::memory_order_relaxed);
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - run_begin_).count();
+    const double rate = elapsed > 0.0 ? static_cast<double>(done) / elapsed : 0.0;
+    std::fprintf(stderr, "progress: %zu/%zu cells, %.2f cells/s, eta 0s\n", done,
+                 cells_.size(), rate);
+  }
 
   // A final poll: an interrupt that landed after the last watchdog tick
   // still marks the sweep interrupted (all cells already ran, none lost).
@@ -586,6 +670,7 @@ json::Value sweep_result_to_json(const SweepSpec& spec, const SweepResult& resul
   out["partial"] = result.partial();
   out["interrupted"] = result.interrupted;
   out["threads"] = threads;
+  out["build"] = stats::profiler::build_info_json();
 
   json::Object totals;
   totals["cells"] = result.cells.size();
@@ -626,6 +711,7 @@ json::Value sweep_result_to_json(const SweepSpec& spec, const SweepResult& resul
     entry["attempts"] = outcome.attempts;
     entry["duration_s"] = outcome.duration_s;
     if (!outcome.error.empty()) entry["error"] = outcome.error;
+    if (!outcome.postmortem.empty()) entry["postmortem"] = outcome.postmortem;
     if (outcome.has_metrics) entry["metrics"] = metrics_to_json(outcome.metrics);
     cells.emplace_back(std::move(entry));
   }

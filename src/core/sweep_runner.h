@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -141,6 +142,10 @@ struct CellOutcome {
   double duration_s = 0.0;
   /// Last failure's message; empty for clean cells.
   std::string error;
+  /// Path (relative to the sweep output dir) of the postmortem.json the
+  /// final failed attempt left behind; empty for clean/skipped cells or when
+  /// cell outputs are off.
+  std::string postmortem;
   bool has_metrics = false;
   CellMetrics metrics;
 
@@ -160,6 +165,11 @@ struct SweepOptions {
   const std::atomic<bool>* interrupt = nullptr;
   /// Watchdog sampling period, seconds (tests shrink it).
   double watchdog_period_s = 0.02;
+  /// Live heartbeat: the watchdog prints "progress: done/total, cells/s,
+  /// eta" to stderr while the sweep runs (the `--progress` CLI flag).
+  bool progress = false;
+  /// Minimum seconds between heartbeat lines (tests shrink it).
+  double progress_period_s = 1.0;
 };
 
 struct SweepResult {
@@ -219,6 +229,11 @@ class SweepRunner {
   }
   void write_cell_outputs(const SweepCell& cell, const SimulationResult& result,
                           const CellMetrics& metrics) const;
+  /// Dumps the worker thread's flight recorder for a cell that ended
+  /// crashed/stalled/timed-out, recording the relative path in `outcome`.
+  /// Best-effort: a postmortem that cannot be written never fails the sweep.
+  void write_cell_postmortem(const SweepCell& cell, CellOutcome& outcome,
+                             const sim::CancellationToken* token) const;
 
   SweepSpec spec_;
   SweepOptions options_;
@@ -236,6 +251,8 @@ class SweepRunner {
   std::atomic<std::size_t> cells_done_{0};
   std::atomic<bool> stop_watchdog_{false};
   std::atomic<bool> interrupted_{false};
+  /// Sweep start, for the heartbeat's cells/sec and ETA.
+  std::chrono::steady_clock::time_point run_begin_{};
 };
 
 /// Serializes a finished sweep (schema "elastisim-sweep-v1": per-cell

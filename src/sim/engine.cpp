@@ -26,6 +26,7 @@ bool Engine::step() {
   assert(time + kTimeEpsilon >= now_ && "event queue returned an event in the past");
   if (time > now_) now_ = time;
   ++events_processed_;
+  if (event_hook_ != nullptr) event_hook_(event_hook_ctx_, now_, events_processed_);
   callback();
   if (validator_) validator_(now_);
   return true;
@@ -44,6 +45,7 @@ bool Engine::step_timed() {
   assert(time + kTimeEpsilon >= now_ && "event queue returned an event in the past");
   if (time > now_) now_ = time;
   ++events_processed_;
+  if (event_hook_ != nullptr) event_hook_(event_hook_ctx_, now_, events_processed_);
   callback();
   if (validator_) validator_(now_);
   const double wall_done = telemetry::wall_now();

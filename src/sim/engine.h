@@ -78,6 +78,21 @@ class Engine {
     validator_ = std::move(validator);
   }
 
+  /// Per-event observer signature: (context, event time, events processed so
+  /// far, this event included).
+  using EventHook = void (*)(void* ctx, SimTime now, std::uint64_t events);
+
+  /// Installs an observer called on every event *before* its callback runs,
+  /// so a crash inside the callback still leaves the dying event on record
+  /// (the core::FlightRecorder rides this). Raw function pointer + context —
+  /// unlike the validator there is deliberately no std::function here; the
+  /// hook fires once per event and must stay a predictable branch. Pass
+  /// nullptr to remove.
+  void set_event_hook(EventHook hook, void* ctx) {
+    event_hook_ = hook;
+    event_hook_ctx_ = ctx;
+  }
+
   FluidModel& fluid() { return *fluid_; }
   const FluidModel& fluid() const { return *fluid_; }
 
@@ -92,6 +107,8 @@ class Engine {
   std::uint64_t events_processed_ = 0;
   std::function<void(SimTime)> validator_;
   CancellationToken* cancel_ = nullptr;
+  EventHook event_hook_ = nullptr;
+  void* event_hook_ctx_ = nullptr;
 
   // Telemetry handles (cached on first timed step; null while disabled).
   // Dispatch work is additionally grouped into spans of up to kDispatchBatch

@@ -99,7 +99,27 @@ inline std::uint64_t tick_now() noexcept {
       std::chrono::steady_clock::now().time_since_epoch().count());
 #endif
 }
+
+/// Thread-local phase-transition tap, independent of the aggregating
+/// profiler above: fires on every ScopedPhase enter/exit even while the
+/// profiler is disabled, so an observer (the core::FlightRecorder) can keep
+/// a running phase stack without stats/ depending on core/. Raw function
+/// pointer + context, one predictable branch per scope when unset.
+using PhaseHook = void (*)(void* ctx, Phase phase, bool enter);
+inline thread_local PhaseHook t_phase_hook = nullptr;
+inline thread_local void* t_phase_ctx = nullptr;
 }  // namespace detail
+
+/// Installs (or, with nullptr, removes) this thread's phase-transition tap.
+/// Returns the previous hook/context pair so callers can restore nesting.
+inline std::pair<detail::PhaseHook, void*> set_phase_hook(detail::PhaseHook hook,
+                                                          void* ctx) noexcept {
+  const std::pair<detail::PhaseHook, void*> previous{detail::t_phase_hook,
+                                                     detail::t_phase_ctx};
+  detail::t_phase_hook = hook;
+  detail::t_phase_ctx = ctx;
+  return previous;
+}
 
 #if defined(ELSIM_NO_PROFILER)
 inline constexpr bool compiled() noexcept { return false; }
@@ -235,22 +255,32 @@ inline void Profiler::end(Phase phase) noexcept {
 /// honors ELSIM_NO_PROFILER builds.
 class ScopedPhase {
  public:
-  explicit ScopedPhase(Phase phase) noexcept {
+  explicit ScopedPhase(Phase phase) noexcept : phase_(phase) {
     if (enabled()) {
-      phase_ = phase;
       live_ = true;
       Profiler::global().begin(phase);
+    }
+    // The flight-recorder tap sees every transition, profiler on or off; the
+    // hook is latched here so an exit always pairs with its observed enter
+    // even if the hook is swapped mid-scope.
+    hook_ = detail::t_phase_hook;
+    if (hook_ != nullptr) {
+      ctx_ = detail::t_phase_ctx;
+      hook_(ctx_, phase, /*enter=*/true);
     }
   }
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;
   ~ScopedPhase() {
+    if (hook_ != nullptr) hook_(ctx_, phase_, /*enter=*/false);
     if (live_) Profiler::global().end(phase_);
   }
 
  private:
-  Phase phase_ = Phase::kSetup;
+  Phase phase_;
   bool live_ = false;
+  detail::PhaseHook hook_ = nullptr;
+  void* ctx_ = nullptr;
 };
 
 }  // namespace elastisim::stats::profiler

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "stats/profiler.h"
+
 namespace elastisim::telemetry {
 
 double wall_now() noexcept {
@@ -171,6 +173,9 @@ json::Value Registry::to_json() const {
   spans["dropped"] = static_cast<double>(spans_.dropped());
 
   json::Object out;
+  // Same provenance header profile.json carries: compile-time values only,
+  // so telemetry.json stays byte-identical across runs of one binary.
+  out["build"] = stats::profiler::build_info_json();
   out["counters"] = std::move(counters);
   out["gauges"] = std::move(gauges);
   out["histograms"] = std::move(histograms);

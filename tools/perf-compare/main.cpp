@@ -124,14 +124,26 @@ int main(int argc, char** argv) {
               "cand ev/s", "ev/s", "s/10k", "rss");
   bool regressed = false;
   std::size_t matched = 0;
+  std::size_t removed = 0;
+  std::size_t added = 0;
   json::Array delta_cells;
   for (const json::Value& base_cell : base_cells->as_array()) {
     CellKey key{base_cell.member_or("jobs", std::int64_t{0}),
                 base_cell.member_or("scheduler", std::string())};
     const json::Value* cand_cell = find_cell(candidate, key);
     if (!cand_cell) {
-      std::fprintf(stderr, "warning: cell (%lld, %s) missing from candidate\n",
-                   static_cast<long long>(key.jobs), key.scheduler.c_str());
+      // Present only in the baseline: report it explicitly instead of
+      // silently shrinking the comparison (it does not gate the verdict).
+      ++removed;
+      std::printf("%-16s %6lld %12.0f %12s %10s  removed (baseline only)\n",
+                  key.scheduler.c_str(), static_cast<long long>(key.jobs),
+                  base_cell.member_or("events_per_second", 0.0), "-", "-");
+      json::Object entry;
+      entry["scheduler"] = key.scheduler;
+      entry["jobs"] = key.jobs;
+      entry["status"] = "removed";
+      entry["baseline_events_per_second"] = base_cell.member_or("events_per_second", 0.0);
+      delta_cells.emplace_back(std::move(entry));
       continue;
     }
     ++matched;
@@ -157,6 +169,7 @@ int main(int argc, char** argv) {
     json::Object entry;
     entry["scheduler"] = key.scheduler;
     entry["jobs"] = key.jobs;
+    entry["status"] = "matched";
     json::Object metrics;
     for (const char* metric :
          {"events_per_second", "wall_s_per_10k_jobs", "peak_rss_bytes"}) {
@@ -172,6 +185,29 @@ int main(int argc, char** argv) {
     entry["regressed"] = cell_regressed;
     delta_cells.emplace_back(std::move(entry));
   }
+  // Cells only the candidate has (a new benchmark size or scheduler): listed
+  // explicitly so a grown trajectory is visible in the diff, not just a count.
+  if (const json::Value* cand_cells = candidate.find("cells");
+      cand_cells != nullptr && cand_cells->is_array()) {
+    for (const json::Value& cand_cell : cand_cells->as_array()) {
+      CellKey key{cand_cell.member_or("jobs", std::int64_t{0}),
+                  cand_cell.member_or("scheduler", std::string())};
+      if (find_cell(baseline, key) != nullptr) continue;
+      ++added;
+      std::printf("%-16s %6lld %12s %12.0f %10s  added (candidate only)\n",
+                  key.scheduler.c_str(), static_cast<long long>(key.jobs), "-",
+                  cand_cell.member_or("events_per_second", 0.0), "-");
+      json::Object entry;
+      entry["scheduler"] = key.scheduler;
+      entry["jobs"] = key.jobs;
+      entry["status"] = "added";
+      entry["candidate_events_per_second"] = cand_cell.member_or("events_per_second", 0.0);
+      delta_cells.emplace_back(std::move(entry));
+    }
+  }
+  if (removed > 0 || added > 0) {
+    std::printf("coverage: %zu matched, %zu removed, %zu added\n", matched, removed, added);
+  }
   if (matched == 0) {
     std::fprintf(stderr, "error: no cells matched between the two files\n");
     return 2;
@@ -181,6 +217,8 @@ int main(int argc, char** argv) {
     out["schema"] = "elastisim-perf-compare-v1";
     out["threshold"] = threshold;
     out["matched_cells"] = matched;
+    out["removed_cells"] = removed;
+    out["added_cells"] = added;
     out["regressed"] = regressed;
     out["cells"] = json::Value(std::move(delta_cells));
     try {
