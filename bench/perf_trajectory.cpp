@@ -94,6 +94,9 @@ int main(int argc, char** argv) {
       json::Object cell;
       cell["jobs"] = jobs;
       cell["scheduler"] = scheduler;
+      // Which grid the cell came from; perf-compare warns when a comparison
+      // mixes quick and full cells (they are not like-for-like).
+      cell["mode"] = std::string(quick ? "quick" : "full");
       cell["events"] = result.events_processed;
       cell["wall_s"] = result.wall_seconds;
       cell["events_per_second"] = events_per_second;
@@ -105,6 +108,7 @@ int main(int argc, char** argv) {
       cell["queue_peak"] = result.queue_peak;
       cell["rebalances"] = result.rebalances;
       cell["scheduler_invocations"] = result.scheduler_invocations;
+      cell["jobs_scanned"] = result.scheduler_jobs_scanned;
       cell["top_phases"] = top_phases_json(3);
       cells.push_back(json::Value(std::move(cell)));
 

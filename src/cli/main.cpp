@@ -43,6 +43,7 @@
 #include "cli/profile.h"
 #include "cli/report.h"
 #include "cli/sweep.h"
+#include "cli/sweep_report.h"
 #include "core/fault_injector.h"
 #include "core/flight_recorder.h"
 #include "core/invariant_checker.h"
@@ -76,6 +77,7 @@ void usage(const char* program) {
                "          [--chrome-trace <file.json>] [--journal <file.jsonl>]\n"
                "          [--profile <file.json>] [--validate] [--log <level>]\n"
                "   or: %s sweep <sweep.json> [--threads <n>] [--out-dir <dir>]\n"
+               "   or: %s sweep-report <sweep-dir> [--out <report.html>]\n"
                "   or: %s inspect --job <id> <journal.jsonl>\n"
                "   or: %s inspect --diff <a.jsonl> <b.jsonl>\n"
                "   or: %s report <out-dir> [--out <report.html>]\n"
@@ -90,7 +92,7 @@ void usage(const char* program) {
                "          [--failure-policy kill|requeue|requeue-restart]\n"
                "          [--restart-overhead <duration>] [--max-requeues <n>]\n\n"
                "schedulers:",
-               program, program, program, program, program, program, program);
+               program, program, program, program, program, program, program, program);
   for (const std::string& name : core::scheduler_names()) {
     std::fprintf(stderr, " %s", name.c_str());
   }
@@ -162,6 +164,9 @@ int main(int argc, char** argv) {
   }
   if (!flags.positional().empty() && flags.positional().front() == "postmortem") {
     return cli::run_postmortem(flags);
+  }
+  if (!flags.positional().empty() && flags.positional().front() == "sweep-report") {
+    return cli::run_sweep_report(flags);
   }
   if (!flags.positional().empty() && flags.positional().front() == "sweep") {
     return cli::run_sweep(flags);
@@ -431,6 +436,7 @@ int main(int argc, char** argv) {
       result.activities_started = engine.fluid().activities_started();
       result.scheduler_invocations = batch.scheduler_invocations();
       result.scheduler_rounds = batch.scheduler_rounds();
+      result.scheduler_jobs_scanned = batch.scheduler_jobs_scanned();
       if (result.stuck > 0) stuck_ids = batch.unfinished_job_ids();
       if (want_validate) {
         std::printf("validated %llu scheduling points, %llu events: all invariants hold\n",

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,18 @@ void report_usage(const std::string& program) {
                "renders <out-dir>/report.html from jobs.csv, timeseries.csv,\n"
                "summary.json, trace.csv, and the decision journal when present\n",
                program.c_str());
+}
+
+/// True when `path` holds a header plus at least one data row.
+bool has_data_rows(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;  // no header at all
+  while (std::getline(in, line)) {
+    if (!line.empty()) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -42,16 +56,26 @@ int run_report(const util::Flags& flags) {
   }
   if (html_path.empty()) html_path = inputs.dir + "/report.html";
 
+  // The utilization/queue-depth charts need state samples; refuse up front
+  // (before anything is written) rather than render a partial report. The
+  // check is gated on jobs.csv so a missing run directory still reports the
+  // usual runtime error below.
+  const std::string timeseries_path = inputs.dir + "/timeseries.csv";
+  if (std::filesystem::exists(std::filesystem::path(inputs.dir) / "jobs.csv") &&
+      !has_data_rows(timeseries_path)) {
+    std::fprintf(stderr,
+                 "error: %s is missing or has no samples — rerun the simulation "
+                 "with --timeseries to record the state timeline, then re-run "
+                 "report\n",
+                 timeseries_path.c_str());
+    return 2;
+  }
+
   try {
     const stats::ReportResult result = stats::write_run_report(inputs, html_path);
     std::printf("wrote %s (%zu bytes): %zu jobs, %zu samples, %zu journal records\n",
                 html_path.c_str(), result.html_bytes, result.jobs, result.samples,
                 result.journal_records);
-    if (result.samples == 0) {
-      std::printf("note: no timeseries.csv in %s — run with --timeseries for the "
-                  "utilization and queue-depth charts\n",
-                  inputs.dir.c_str());
-    }
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

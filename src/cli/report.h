@@ -11,7 +11,8 @@ class Flags;
 namespace elastisim::cli {
 
 /// Exit codes: 0 report written, 1 runtime error (missing/malformed
-/// jobs.csv, unwritable output), 2 usage error.
+/// jobs.csv, unwritable output), 2 usage error or a run directory whose
+/// timeseries.csv is missing/empty (rerun with --timeseries).
 int run_report(const util::Flags& flags);
 
 }  // namespace elastisim::cli

@@ -216,7 +216,9 @@ int run_sweep(const util::Flags& flags) {
 
   std::filesystem::create_directories(out_dir);
   const std::string sweep_json = out_dir + "/sweep.json";
-  json::write_file(sweep_json, core::sweep_result_to_json(runner.spec(), result, threads));
+  json::write_file(sweep_json,
+                   core::sweep_result_to_json(runner.spec(), result, threads,
+                                              cell_outputs ? out_dir : std::string()));
   const std::string extra = cell_outputs ? " and " + out_dir + "/cells/*/" : std::string();
   std::printf("wrote %s%s\n", sweep_json.c_str(), extra.c_str());
 

@@ -1,0 +1,84 @@
+#include "cli/sweep_report.h"
+
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "json/json.h"
+#include "stats/sweep_report.h"
+#include "util/flags.h"
+
+namespace elastisim::cli {
+
+namespace {
+
+void sweep_report_usage(const std::string& program) {
+  std::fprintf(stderr,
+               "usage: %s sweep-report <sweep-dir> [--out <report.html>]\n"
+               "renders <sweep-dir>/report.html from <sweep-dir>/sweep.json\n"
+               "(schema elastisim-sweep-v2): policy comparison tables with\n"
+               "seed-variance bands, slowdown distributions, and a cells status\n"
+               "heatmap linking failed cells to their postmortems\n",
+               program.c_str());
+}
+
+}  // namespace
+
+int run_sweep_report(const util::Flags& flags) {
+  // positional()[0] is the "sweep-report" subcommand word itself.
+  const std::vector<std::string>& positional = flags.positional();
+  if (positional.size() < 2) {
+    sweep_report_usage(flags.program());
+    return 2;
+  }
+  const std::string sweep_dir = positional[1];
+  // A bare "--out" parses as the boolean value "true"; demand a real path.
+  std::string html_path = flags.get("out", std::string());
+  if (flags.has("out") && (html_path.empty() || html_path == "true")) {
+    sweep_report_usage(flags.program());
+    return 2;
+  }
+  if (html_path.empty()) html_path = sweep_dir + "/report.html";
+
+  const std::string sweep_json = sweep_dir + "/sweep.json";
+  json::Value sweep;
+  std::string html;
+  stats::SweepReportResult result;
+  try {
+    sweep = json::parse_file(sweep_json);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: cannot load %s: %s\n", sweep_json.c_str(),
+                 error.what());
+    return 2;
+  }
+  try {
+    html = stats::render_sweep_report(sweep, &result);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s: %s\n", sweep_json.c_str(), error.what());
+    return 2;
+  }
+
+  // Render-then-write: a failure here never leaves a partial report behind.
+  try {
+    const std::filesystem::path parent = std::filesystem::path(html_path).parent_path();
+    if (!parent.empty()) std::filesystem::create_directories(parent);
+    std::ofstream out(html_path, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot open for writing");
+    out << html;
+    out.flush();
+    if (!out) throw std::runtime_error("write failed");
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s: %s\n", html_path.c_str(), error.what());
+    return 1;
+  }
+
+  std::printf("wrote %s (%zu bytes): %zu cells (%zu failed), %zu aggregate groups\n",
+              html_path.c_str(), result.html_bytes, result.cells, result.failed_cells,
+              result.groups);
+  return 0;
+}
+
+}  // namespace elastisim::cli

@@ -1,0 +1,19 @@
+// `elastisim sweep-report <sweep-dir>` — render a finished sweep directory
+// (its sweep.json, schema elastisim-sweep-v2) into one self-contained
+// report.html with policy-comparison tables, seed-variance bands, and a
+// cells status heatmap linking failed cells to their postmortems
+// (stats/sweep_report.h). Companion to `elastisim report`, one level up:
+// report explains one run, sweep-report compares the whole grid.
+#pragma once
+
+namespace elastisim::util {
+class Flags;
+}
+
+namespace elastisim::cli {
+
+/// Exit codes: 0 report written, 1 write failure, 2 usage error or
+/// unreadable/mismatched sweep.json.
+int run_sweep_report(const util::Flags& flags);
+
+}  // namespace elastisim::cli

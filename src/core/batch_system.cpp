@@ -772,6 +772,8 @@ void BatchSystem::invoke_scheduler(stats::JournalCause cause) {
     do {
       rerun_scheduler_ = false;
       rebuild_views();
+      scheduler_jobs_scanned_ +=
+          static_cast<std::uint64_t>(queue_view_.size() + running_view_.size());
       scheduler_->schedule(*this);
       if (++rounds > 1000) {
         ELSIM_ERROR("scheduler did not converge after 1000 rounds at t={}; giving up",

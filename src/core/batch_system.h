@@ -188,6 +188,11 @@ class BatchSystem final : public SchedulerContext {
   std::uint64_t scheduler_invocations() const { return scheduler_invocations_; }
   std::uint64_t scheduler_rounds() const { return scheduler_rounds_; }
 
+  /// Jobs presented to the scheduler summed over every round (queued +
+  /// running views); the per-invocation rescan cost that dominates large
+  /// workloads. Always counted, like the invocation/round counters.
+  std::uint64_t scheduler_jobs_scanned() const { return scheduler_jobs_scanned_; }
+
   /// Concrete nodes a job currently occupies (empty when not running).
   std::vector<platform::NodeId> nodes_of(workload::JobId id) const;
 
@@ -348,6 +353,7 @@ class BatchSystem final : public SchedulerContext {
   std::size_t requeues_ = 0;
   std::uint64_t scheduler_invocations_ = 0;
   std::uint64_t scheduler_rounds_ = 0;
+  std::uint64_t scheduler_jobs_scanned_ = 0;
   /// Lifetime job starts (always counted); invoke_scheduler diffs it across
   /// one scheduling point to get the flight record's started-count payload.
   std::uint64_t starts_total_ = 0;

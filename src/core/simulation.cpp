@@ -107,6 +107,7 @@ SimulationResult run_impl(const platform::ClusterConfig& platform,
   result.activities_started = engine.fluid().activities_started();
   result.scheduler_invocations = batch.scheduler_invocations();
   result.scheduler_rounds = batch.scheduler_rounds();
+  result.scheduler_jobs_scanned = batch.scheduler_jobs_scanned();
   result.peak_rss_bytes = stats::profiler::peak_rss_bytes();
   return result;
 }
@@ -137,6 +138,8 @@ void record_profile_counters(const SimulationResult& result, const std::string& 
   profiler.set_counter("scheduler." + scheduler + ".invocations",
                        result.scheduler_invocations);
   profiler.set_counter("scheduler." + scheduler + ".rounds", result.scheduler_rounds);
+  profiler.set_counter("scheduler." + scheduler + ".jobs_scanned",
+                       result.scheduler_jobs_scanned);
 }
 
 }  // namespace elastisim::core

@@ -84,6 +84,9 @@ struct SimulationResult {
   std::uint64_t activities_started = 0;
   std::uint64_t scheduler_invocations = 0;
   std::uint64_t scheduler_rounds = 0;
+  /// Jobs presented to the scheduler summed over every round — the queue
+  /// rescan work the policy actually performed (always counted).
+  std::uint64_t scheduler_jobs_scanned = 0;
   /// Process-wide peak RSS in bytes at the end of the run (monotone across
   /// runs in one process).
   std::uint64_t peak_rss_bytes = 0;

@@ -14,6 +14,7 @@
 #include "core/scheduler.h"
 #include "platform/loader.h"
 #include "stats/profiler.h"
+#include "stats/sweep_aggregate.h"
 #include "util/fmt.h"
 #include "util/load_error.h"
 #include "util/units.h"
@@ -664,9 +665,10 @@ SweepResult SweepRunner::run() {
 }
 
 json::Value sweep_result_to_json(const SweepSpec& spec, const SweepResult& result,
-                                 std::size_t threads) {
+                                 std::size_t threads,
+                                 const std::string& cell_output_dir) {
   json::Object out;
-  out["schema"] = "elastisim-sweep-v1";
+  out["schema"] = "elastisim-sweep-v2";
   out["partial"] = result.partial();
   out["interrupted"] = result.interrupted;
   out["threads"] = threads;
@@ -751,6 +753,38 @@ json::Value sweep_result_to_json(const SweepSpec& spec, const SweepResult& resul
     by_scheduler.emplace_back(std::move(entry));
   }
   out["by_scheduler"] = json::Value(std::move(by_scheduler));
+
+  // Cross-run aggregates (stats::SweepAggregator): per-(platform x workload
+  // x scheduler) distribution statistics with per-seed variance bands. Cells
+  // fold strictly in grid order AFTER the sweep finished, and nothing
+  // wall-clock enters the fold, so this section is byte-identical across
+  // --threads 1 and --threads N (cli_sweep_report_smoke enforces it).
+  stats::SweepAggregator aggregator;
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const SweepCell& cell = result.cells[i];
+    const CellOutcome& outcome = result.outcomes[i];
+    const std::string& platform = spec.platforms[cell.platform_index];
+    const std::string& workload = spec.workloads[cell.workload_index];
+    aggregator.add_cell(platform, workload, cell.scheduler);
+    if (!outcome.succeeded() || !outcome.has_metrics) continue;
+    stats::SweepCellSample sample;
+    sample.seed = cell.seed;
+    sample.mean_wait_s = outcome.metrics.mean_wait;
+    sample.mean_bounded_slowdown = outcome.metrics.mean_bounded_slowdown;
+    sample.avg_utilization = outcome.metrics.avg_utilization;
+    sample.makespan_s = outcome.metrics.makespan;
+    aggregator.add_cell_sample(platform, workload, cell.scheduler, sample);
+    if (!cell_output_dir.empty()) {
+      char index_name[32];
+      std::snprintf(index_name, sizeof(index_name), "%03zu", cell.index);
+      const std::filesystem::path jobs_csv =
+          std::filesystem::path(cell_output_dir) / "cells" / index_name / "jobs.csv";
+      // Best-effort by contract: a missing or malformed per-cell file drops
+      // only the per-job quantiles, never the sweep output.
+      aggregator.add_jobs_csv(platform, workload, cell.scheduler, jobs_csv.string());
+    }
+  }
+  out["aggregates"] = aggregator.to_json();
   return json::Value(std::move(out));
 }
 

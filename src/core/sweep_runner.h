@@ -255,10 +255,17 @@ class SweepRunner {
   std::chrono::steady_clock::time_point run_begin_{};
 };
 
-/// Serializes a finished sweep (schema "elastisim-sweep-v1": per-cell
-/// status/attempts/duration/metrics plus per-scheduler aggregate tables).
+/// Serializes a finished sweep (schema "elastisim-sweep-v2": per-cell
+/// status/attempts/duration/metrics, per-scheduler mean tables, and the
+/// `aggregates` section — per-(platform x workload x scheduler) distribution
+/// statistics with seed-variance bands, built by stats::SweepAggregator in
+/// grid order so the section is byte-identical across pool sizes). When
+/// `cell_output_dir` names the sweep's output directory, each succeeded
+/// cell's cells/NNN/jobs.csv additionally feeds exact per-job wait and
+/// bounded-slowdown quantiles into its group.
 json::Value sweep_result_to_json(const SweepSpec& spec, const SweepResult& result,
-                                 std::size_t threads);
+                                 std::size_t threads,
+                                 const std::string& cell_output_dir = std::string());
 
 /// 0 = every cell succeeded; 3 = sweep completed but partial (failed or
 /// skipped cells — graceful degradation, results were still written).

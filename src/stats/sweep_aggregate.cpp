@@ -1,0 +1,204 @@
+#include "stats/sweep_aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "util/csv.h"
+
+namespace elastisim::stats {
+
+namespace {
+
+/// jobs.csv columns the per-job fold needs (header-mapped, so column order
+/// is free to evolve). Returns npos when the column is absent.
+std::size_t find_column(const std::vector<std::string>& header, const char* name) {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+double DistAccumulator::quantile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+DistSummary DistAccumulator::summary() const {
+  DistSummary out;
+  out.count = values_.size();
+  if (values_.empty()) return out;
+
+  // Two-pass moments in insertion order: the fold order is fixed (grid
+  // order), so the float accumulation is reproducible bit for bit.
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  out.mean = sum / static_cast<double>(values_.size());
+  double squares = 0.0;
+  for (double v : values_) squares += (v - out.mean) * (v - out.mean);
+  out.stddev = std::sqrt(squares / static_cast<double>(values_.size()));
+
+  out.min = *std::min_element(values_.begin(), values_.end());
+  out.max = *std::max_element(values_.begin(), values_.end());
+  std::vector<double> sorted(values_);
+  std::sort(sorted.begin(), sorted.end());
+  const auto at = [&sorted](double q) {
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  };
+  out.p50 = at(0.50);
+  out.p95 = at(0.95);
+  out.p99 = at(0.99);
+  return out;
+}
+
+json::Value dist_summary_to_json(const DistSummary& summary) {
+  json::Object out;
+  out["count"] = summary.count;
+  out["mean"] = summary.mean;
+  out["stddev"] = summary.stddev;
+  out["min"] = summary.min;
+  out["max"] = summary.max;
+  out["p50"] = summary.p50;
+  out["p95"] = summary.p95;
+  out["p99"] = summary.p99;
+  return json::Value(std::move(out));
+}
+
+SweepAggregator::Group& SweepAggregator::group_for(const std::string& platform,
+                                                   const std::string& workload,
+                                                   const std::string& scheduler) {
+  for (Group& group : groups_) {
+    // elsim-lint: allow(float-equality) -- std::string comparisons
+    if (group.platform == platform && group.workload == workload &&
+        group.scheduler == scheduler) {
+      return group;
+    }
+  }
+  Group group;
+  group.platform = platform;
+  group.workload = workload;
+  group.scheduler = scheduler;
+  groups_.push_back(std::move(group));
+  return groups_.back();
+}
+
+void SweepAggregator::add_cell(const std::string& platform, const std::string& workload,
+                               const std::string& scheduler) {
+  ++group_for(platform, workload, scheduler).cells;
+}
+
+void SweepAggregator::add_cell_sample(const std::string& platform,
+                                      const std::string& workload,
+                                      const std::string& scheduler,
+                                      const SweepCellSample& sample) {
+  Group& group = group_for(platform, workload, scheduler);
+  ++group.succeeded;
+  group.seeds.push_back(sample.seed);
+  group.mean_wait_s.add(sample.mean_wait_s);
+  group.mean_bounded_slowdown.add(sample.mean_bounded_slowdown);
+  group.avg_utilization.add(sample.avg_utilization);
+  group.makespan_s.add(sample.makespan_s);
+}
+
+bool SweepAggregator::add_jobs_csv(const std::string& platform,
+                                   const std::string& workload,
+                                   const std::string& scheduler,
+                                   const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  const std::vector<std::string> header = util::split_csv_line(line);
+  const std::size_t c_submit = find_column(header, "submit");
+  const std::size_t c_start = find_column(header, "start");
+  const std::size_t c_end = find_column(header, "end");
+  const std::size_t npos = static_cast<std::size_t>(-1);
+  if (c_submit == npos || c_start == npos || c_end == npos) return false;
+
+  // Parse every row before folding any: a malformed file must not leave the
+  // group half-updated.
+  std::vector<double> waits;
+  std::vector<double> slowdowns;
+  constexpr double kTau = 10.0;  // bounded-slowdown threshold, seconds
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = util::split_csv_line(line);
+    if (fields.size() <= std::max({c_submit, c_start, c_end})) return false;
+    double submit = 0.0;
+    double start = 0.0;
+    double end = 0.0;
+    try {
+      submit = std::stod(fields[c_submit]);
+      start = std::stod(fields[c_start]);
+      end = std::stod(fields[c_end]);
+    } catch (const std::exception&) {
+      return false;
+    }
+    // Same population as Recorder's aggregates: completed jobs only (ran to
+    // an end; -1 sentinels mark never-started / never-finished).
+    if (start < 0.0 || end < 0.0) continue;
+    waits.push_back(start - submit);
+    const double turnaround = end - submit;
+    const double runtime = end - start;
+    slowdowns.push_back(std::max(1.0, turnaround / std::max(runtime, kTau)));
+  }
+
+  Group& group = group_for(platform, workload, scheduler);
+  for (double v : waits) group.job_wait_s.add(v);
+  for (double v : slowdowns) group.job_bounded_slowdown.add(v);
+  ++group.cells_with_jobs;
+  return true;
+}
+
+json::Value SweepAggregator::to_json() const {
+  json::Object out;
+  // Self-describing quantile provenance so downstream consumers never have
+  // to guess which estimator produced p50/p95/p99.
+  out["quantiles"] = std::string("exact-linear-interpolation");
+  json::Array groups;
+  for (const Group& group : groups_) {
+    json::Object entry;
+    entry["platform"] = group.platform;
+    entry["workload"] = group.workload;
+    entry["scheduler"] = group.scheduler;
+    entry["cells"] = group.cells;
+    entry["succeeded"] = group.succeeded;
+    json::Array seeds;
+    for (std::uint64_t seed : group.seeds) {
+      seeds.emplace_back(static_cast<std::size_t>(seed));
+    }
+    entry["seeds"] = json::Value(std::move(seeds));
+    json::Object metrics;
+    metrics["mean_wait_s"] = dist_summary_to_json(group.mean_wait_s.summary());
+    metrics["mean_bounded_slowdown"] =
+        dist_summary_to_json(group.mean_bounded_slowdown.summary());
+    metrics["avg_utilization"] = dist_summary_to_json(group.avg_utilization.summary());
+    metrics["makespan_s"] = dist_summary_to_json(group.makespan_s.summary());
+    entry["metrics"] = json::Value(std::move(metrics));
+    if (group.cells_with_jobs > 0) {
+      json::Object jobs;
+      jobs["cells_with_jobs"] = group.cells_with_jobs;
+      jobs["wait_s"] = dist_summary_to_json(group.job_wait_s.summary());
+      jobs["bounded_slowdown"] =
+          dist_summary_to_json(group.job_bounded_slowdown.summary());
+      entry["jobs"] = json::Value(std::move(jobs));
+    }
+    groups.emplace_back(std::move(entry));
+  }
+  out["groups"] = json::Value(std::move(groups));
+  return json::Value(std::move(out));
+}
+
+}  // namespace elastisim::stats

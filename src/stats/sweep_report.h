@@ -1,0 +1,53 @@
+// Sweep-report generator: turns a finished sweep's sweep.json (schema
+// elastisim-sweep-v2, including the `aggregates` section) into one
+// self-contained report.html in the run-report style: inline SVG and CSS
+// only, no external JS, no network fetches, viewable from file:// on an
+// air-gapped machine.
+//
+// Sections (stable ids the smoke tests assert on):
+//   #summary   sweep totals and outcome accounting
+//   #coverage  grid axes and per-scheduler coverage table
+//   #status    cells status heatmap (ok/retried/timeout/stalled/crashed/
+//              skipped); failed cells link to their cells/NNN/postmortem.json
+//   #compare   policy-vs-policy comparison tables per (platform, workload)
+//              with per-seed variance bands (mean ± stddev + min/p50/max
+//              whiskers)
+//   #slowdown  per-policy bounded-slowdown distribution strips (per-job
+//              quantiles when cell outputs were aggregated, per-seed bands
+//              otherwise)
+//
+// Determinism contract: the renderer consumes only deterministic members of
+// sweep.json (never wall-clock durations or the thread count), so the HTML
+// is byte-identical across --threads 1 and --threads N sweeps — the same
+// property the aggregates section itself carries.
+//
+// `elastisim sweep-report <sweep-dir>` is the CLI front end (docs/CLI.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "json/json.h"
+
+namespace elastisim::stats {
+
+struct SweepReportResult {
+  std::size_t cells = 0;   ///< cells rendered into the heatmap
+  std::size_t groups = 0;  ///< aggregate groups rendered
+  std::size_t failed_cells = 0;
+  std::size_t html_bytes = 0;
+};
+
+/// Renders the report from a parsed sweep.json value. Throws
+/// std::runtime_error when the input is not an elastisim-sweep-v2 document
+/// (schema mismatch or missing core members).
+std::string render_sweep_report(const json::Value& sweep,
+                                SweepReportResult* result = nullptr);
+
+/// Loads <sweep_dir>/sweep.json and writes the rendered report to
+/// `html_path`. Throws std::runtime_error on unreadable input, schema
+/// mismatch, or I/O failure; nothing is written unless rendering succeeded.
+SweepReportResult write_sweep_report(const std::string& sweep_dir,
+                                     const std::string& html_path);
+
+}  // namespace elastisim::stats

@@ -1,13 +1,17 @@
 # Perf-trajectory smoke test, run as a CTest script:
-#   cmake -DPERF_TRAJECTORY=<binary> -DOUT_DIR=<dir> -P perf_smoke.cmake
+#   cmake -DPERF_TRAJECTORY=<binary> -DPERF_COMPARE=<binary> -DOUT_DIR=<dir>
+#         -P perf_smoke.cmake
 # Runs bench/perf_trajectory in --quick mode and validates the emitted
 # BENCH_perf.json: schema tag, build-provenance header, at least four cells,
-# per-cell required keys, and event counts that grow strictly with job count
-# for each scheduler (the same workload at a larger scale must process more
-# events — a cheap sanity check that the grid actually ran).
+# per-cell required keys (including the mode tag and the jobs_scanned work
+# counter), and event counts that grow strictly with job count for each
+# scheduler (the same workload at a larger scale must process more events —
+# a cheap sanity check that the grid actually ran). Then drives
+# tools/perf-compare over the result: a self-compare, the mixed-mode
+# warning, and the --history trend mode.
 cmake_minimum_required(VERSION 3.19)
 
-foreach(var PERF_TRAJECTORY OUT_DIR)
+foreach(var PERF_TRAJECTORY PERF_COMPARE OUT_DIR)
   if(NOT DEFINED ${var})
     message(FATAL_ERROR "perf_smoke: missing -D${var}=...")
   endif()
@@ -45,8 +49,8 @@ endif()
 
 math(EXPR last_cell "${cell_count} - 1")
 foreach(index RANGE ${last_cell})
-  foreach(key jobs scheduler events wall_s events_per_second wall_s_per_10k_jobs
-          peak_rss_bytes top_phases)
+  foreach(key jobs scheduler mode events wall_s events_per_second wall_s_per_10k_jobs
+          peak_rss_bytes jobs_scanned top_phases)
     string(JSON value ERROR_VARIABLE json_error GET "${bench_text}" cells ${index} ${key})
     if(json_error)
       message(FATAL_ERROR "perf_smoke: cell ${index} missing \"${key}\": ${json_error}")
@@ -57,6 +61,15 @@ foreach(index RANGE ${last_cell})
   string(JSON events GET "${bench_text}" cells ${index} events)
   if(events LESS_EQUAL 0)
     message(FATAL_ERROR "perf_smoke: cell ${index} (${jobs}, ${scheduler}) has no events")
+  endif()
+  # --quick runs tag every cell quick; jobs_scanned counts real scheduler work.
+  string(JSON cell_mode GET "${bench_text}" cells ${index} mode)
+  if(NOT cell_mode STREQUAL "quick")
+    message(FATAL_ERROR "perf_smoke: cell ${index} mode \"${cell_mode}\", expected quick")
+  endif()
+  string(JSON jobs_scanned GET "${bench_text}" cells ${index} jobs_scanned)
+  if(jobs_scanned LESS_EQUAL 0)
+    message(FATAL_ERROR "perf_smoke: cell ${index} (${jobs}, ${scheduler}) scanned no jobs")
   endif()
   # Cells are emitted in ascending job-count order per scheduler; event counts
   # must be strictly monotone along that axis.
@@ -73,4 +86,97 @@ foreach(index RANGE ${last_cell})
   set(last_jobs_${scheduler} ${jobs})
 endforeach()
 
-message(STATUS "perf_smoke: ${cell_count} cells, schema and monotonicity OK")
+# --- perf-compare: self-compare is clean ------------------------------------
+execute_process(
+  COMMAND ${PERF_COMPARE} ${bench_file} ${bench_file} --json ${OUT_DIR}/self_compare.json
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text
+  ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "perf_smoke: self-compare exited ${exit_code}\n"
+                      "${stdout_text}\n${stderr_text}")
+endif()
+file(READ "${OUT_DIR}/self_compare.json" compare_text)
+string(JSON mixed_cells GET "${compare_text}" mixed_mode_cells)
+if(NOT mixed_cells EQUAL 0)
+  message(FATAL_ERROR "perf_smoke: self-compare reported ${mixed_cells} mixed-mode cells")
+endif()
+
+# --- perf-compare: mixed-mode warning ---------------------------------------
+# A full-mode twin of the quick run: same cells, different mode tag. Every
+# matched cell must be flagged, on stderr and in the --json output.
+string(REPLACE "\"mode\": \"quick\"" "\"mode\": \"full\"" full_text "${bench_text}")
+file(WRITE "${OUT_DIR}/BENCH_full_mode.json" "${full_text}")
+execute_process(
+  COMMAND ${PERF_COMPARE} ${OUT_DIR}/BENCH_full_mode.json ${bench_file}
+          --json ${OUT_DIR}/mixed_compare.json
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text
+  ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "perf_smoke: mixed-mode compare exited ${exit_code}\n"
+                      "${stdout_text}\n${stderr_text}")
+endif()
+if(NOT stderr_text MATCHES "not like-for-like")
+  message(FATAL_ERROR "perf_smoke: mixed-mode compare printed no warning:\n${stderr_text}")
+endif()
+file(READ "${OUT_DIR}/mixed_compare.json" mixed_text)
+string(JSON mixed_cells GET "${mixed_text}" mixed_mode_cells)
+if(NOT mixed_cells EQUAL ${cell_count})
+  message(FATAL_ERROR "perf_smoke: mixed_mode_cells ${mixed_cells}, expected ${cell_count}")
+endif()
+string(JSON cell_mixed GET "${mixed_text}" cells 0 mixed_mode)
+if(NOT cell_mixed STREQUAL "ON" AND NOT cell_mixed STREQUAL "true")
+  message(FATAL_ERROR "perf_smoke: cell 0 mixed_mode \"${cell_mixed}\", expected true")
+endif()
+
+# --- perf-compare --history ---------------------------------------------------
+set(history_dir "${OUT_DIR}/history")
+file(MAKE_DIRECTORY ${history_dir})
+configure_file(${bench_file} "${history_dir}/0001.json" COPYONLY)
+configure_file("${OUT_DIR}/BENCH_full_mode.json" "${history_dir}/0002.json" COPYONLY)
+execute_process(
+  COMMAND ${PERF_COMPARE} --history ${history_dir} --json ${OUT_DIR}/trend.json
+  RESULT_VARIABLE exit_code
+  OUTPUT_VARIABLE stdout_text
+  ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "perf_smoke: --history exited ${exit_code}\n"
+                      "${stdout_text}\n${stderr_text}")
+endif()
+if(NOT stdout_text MATCHES "events/sec trend")
+  message(FATAL_ERROR "perf_smoke: --history printed no trend table:\n${stdout_text}")
+endif()
+if(NOT stderr_text MATCHES "mixes quick and full")
+  message(FATAL_ERROR "perf_smoke: --history missed the mixed-mode warning:\n${stderr_text}")
+endif()
+file(READ "${OUT_DIR}/trend.json" trend_text)
+string(JSON trend_schema GET "${trend_text}" schema)
+if(NOT trend_schema STREQUAL "elastisim-perf-history-v1")
+  message(FATAL_ERROR "perf_smoke: trend schema \"${trend_schema}\"")
+endif()
+string(JSON snapshot_count GET "${trend_text}" snapshot_count)
+if(NOT snapshot_count EQUAL 2)
+  message(FATAL_ERROR "perf_smoke: trend has ${snapshot_count} snapshots, expected 2")
+endif()
+string(JSON trend_mixed GET "${trend_text}" mixed_modes)
+if(NOT trend_mixed STREQUAL "ON" AND NOT trend_mixed STREQUAL "true")
+  message(FATAL_ERROR "perf_smoke: trend mixed_modes \"${trend_mixed}\", expected true")
+endif()
+string(JSON series_len LENGTH "${trend_text}" cells 0 events_per_second)
+if(NOT series_len EQUAL 2)
+  message(FATAL_ERROR "perf_smoke: trend cell 0 has ${series_len} points, expected 2")
+endif()
+
+# An empty history directory is a usage error, not a silent success.
+file(MAKE_DIRECTORY "${OUT_DIR}/history_empty")
+execute_process(
+  COMMAND ${PERF_COMPARE} --history ${OUT_DIR}/history_empty
+  RESULT_VARIABLE exit_code
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT exit_code EQUAL 2)
+  message(FATAL_ERROR "perf_smoke: --history on an empty dir exited ${exit_code}, expected 2")
+endif()
+
+message(STATUS "perf_smoke: ${cell_count} cells, schema, monotonicity, "
+               "mixed-mode warning, and --history OK")

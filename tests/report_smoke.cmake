@@ -96,4 +96,47 @@ if(NOT exit_code EQUAL 1)
   message(FATAL_ERROR "report_smoke: report on a missing dir exited ${exit_code}, expected 1")
 endif()
 
+# --- missing / empty timeseries.csv -----------------------------------------
+# A run directory without state samples must fail fast with a diagnostic that
+# names the expected file — and leave no partial report.html behind.
+execute_process(
+  COMMAND ${ELASTISIM} --platform ${PLATFORM} --workload ${WORKLOAD}
+          --out-dir ${OUT_DIR}/run_no_ts
+  RESULT_VARIABLE exit_code
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT exit_code EQUAL 0)
+  message(FATAL_ERROR "report_smoke: no-timeseries run exited ${exit_code}")
+endif()
+execute_process(
+  COMMAND ${ELASTISIM} report ${OUT_DIR}/run_no_ts
+  RESULT_VARIABLE exit_code
+  OUTPUT_QUIET
+  ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 2)
+  message(FATAL_ERROR "report_smoke: report without timeseries.csv exited ${exit_code}, "
+                      "expected 2")
+endif()
+if(NOT stderr_text MATCHES "run_no_ts/timeseries.csv")
+  message(FATAL_ERROR "report_smoke: diagnostic does not name the expected file:\n"
+                      "${stderr_text}")
+endif()
+if(EXISTS "${OUT_DIR}/run_no_ts/report.html")
+  message(FATAL_ERROR "report_smoke: partial report.html left behind on failure")
+endif()
+
+# Header-only timeseries.csv (no data rows) is just as unusable.
+file(STRINGS "${OUT_DIR}/run_a/timeseries.csv" ts_header LIMIT_COUNT 1)
+file(WRITE "${OUT_DIR}/run_no_ts/timeseries.csv" "${ts_header}\n")
+execute_process(
+  COMMAND ${ELASTISIM} report ${OUT_DIR}/run_no_ts
+  RESULT_VARIABLE exit_code
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT exit_code EQUAL 2)
+  message(FATAL_ERROR "report_smoke: report on an empty timeseries.csv exited "
+                      "${exit_code}, expected 2")
+endif()
+if(EXISTS "${OUT_DIR}/run_no_ts/report.html")
+  message(FATAL_ERROR "report_smoke: partial report.html left behind on empty timeseries")
+endif()
+
 message(STATUS "report_smoke: ok (report.html ${report_size} bytes)")

@@ -1,0 +1,142 @@
+# `elastisim sweep-report` end-to-end smoke, run as a CTest script:
+#   cmake -DELASTISIM=<binary> -DPLATFORM=<json> -DWORKLOAD=<json>
+#         -DOUT_DIR=<dir> -P sweep_report_smoke.cmake
+#
+# Runs a 1x1x2x2 sweep (one injected crash) under --threads 4 and --threads 1
+# and asserts the elastisim-sweep-v2 observability contract:
+#   - the sweep.json `aggregates` section is byte-identical across thread
+#     counts (the deterministic cross-run aggregation the schema bump adds),
+#   - sweep-report renders a byte-identical, self-contained report.html from
+#     both runs, carrying the documented section markers,
+#   - the failed cell's heatmap entry links to its cells/NNN/postmortem.json,
+#   - usage errors (no dir, missing sweep.json, wrong schema) exit 2 and
+#     leave no partial report.html behind.
+cmake_minimum_required(VERSION 3.19)
+
+foreach(var ELASTISIM PLATFORM WORKLOAD OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "sweep_report_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+file(WRITE ${OUT_DIR}/sweep.spec.json "{
+  \"platforms\": [\"${PLATFORM}\"],
+  \"workloads\": [\"${WORKLOAD}\"],
+  \"schedulers\": [\"fcfs\", \"easy-malleable\"],
+  \"seeds\": [1, 2],
+  \"timeout\": \"120s\",
+  \"stall_timeout\": \"60s\",
+  \"retry\": {\"max_attempts\": 2, \"backoff\": \"10ms\"}
+}")
+
+# --- the same sweep on two pool sizes ---------------------------------------
+set(run_names par ser)
+set(thread_counts 4 1)
+foreach(run threads IN ZIP_LISTS run_names thread_counts)
+  execute_process(
+    COMMAND ${ELASTISIM} sweep ${OUT_DIR}/sweep.spec.json
+            --threads ${threads} --out-dir ${OUT_DIR}/${run} --inject-crash 1
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE stdout_text ERROR_VARIABLE stderr_text)
+  if(NOT exit_code EQUAL 3)
+    message(FATAL_ERROR "sweep_report_smoke: ${run} sweep exited ${exit_code} (want 3)\n"
+                        "${stdout_text}\n${stderr_text}")
+  endif()
+  execute_process(
+    COMMAND ${ELASTISIM} sweep-report ${OUT_DIR}/${run}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE stdout_text ERROR_VARIABLE stderr_text)
+  if(NOT exit_code EQUAL 0)
+    message(FATAL_ERROR "sweep_report_smoke: sweep-report on ${run} exited ${exit_code}\n"
+                        "${stdout_text}\n${stderr_text}")
+  endif()
+  if(NOT EXISTS "${OUT_DIR}/${run}/report.html")
+    message(FATAL_ERROR "sweep_report_smoke: ${run}/report.html was not written")
+  endif()
+endforeach()
+
+# --- determinism across pool sizes ------------------------------------------
+# The aggregates section folds after the sweep in grid order: byte-identical.
+foreach(run IN ITEMS par ser)
+  file(READ "${OUT_DIR}/${run}/sweep.json" sweep_text)
+  string(JSON schema GET "${sweep_text}" schema)
+  if(NOT schema STREQUAL "elastisim-sweep-v2")
+    message(FATAL_ERROR "sweep_report_smoke: ${run} schema \"${schema}\"")
+  endif()
+  string(JSON aggregates_${run} GET "${sweep_text}" aggregates)
+endforeach()
+if(NOT aggregates_par STREQUAL aggregates_ser)
+  message(FATAL_ERROR "sweep_report_smoke: aggregates differ between --threads 4 "
+                      "and --threads 1:\n${aggregates_par}\n----\n${aggregates_ser}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT_DIR}/par/report.html ${OUT_DIR}/ser/report.html
+  RESULT_VARIABLE compare_code)
+if(NOT compare_code EQUAL 0)
+  message(FATAL_ERROR "sweep_report_smoke: report.html differs between --threads 4 "
+                      "and --threads 1")
+endif()
+
+# --- report content ----------------------------------------------------------
+file(READ "${OUT_DIR}/par/report.html" report_html)
+foreach(marker "id=\"summary\"" "id=\"coverage\"" "id=\"status\"" "id=\"compare\""
+               "id=\"slowdown\"" "<svg")
+  string(FIND "${report_html}" "${marker}" marker_pos)
+  if(marker_pos EQUAL -1)
+    message(FATAL_ERROR "sweep_report_smoke: report.html lacks '${marker}'")
+  endif()
+endforeach()
+# The crashed cell (index 1) links to its postmortem, relative to the report.
+string(FIND "${report_html}" "href=\"cells/001/postmortem.json\"" link_pos)
+if(link_pos EQUAL -1)
+  message(FATAL_ERROR "sweep_report_smoke: no postmortem link for the crashed cell")
+endif()
+if(NOT EXISTS "${OUT_DIR}/par/cells/001/postmortem.json")
+  message(FATAL_ERROR "sweep_report_smoke: the linked postmortem.json does not exist")
+endif()
+# Self-contained: no external fetches.
+string(FIND "${report_html}" "https://" external_pos)
+if(NOT external_pos EQUAL -1)
+  message(FATAL_ERROR "sweep_report_smoke: report.html references an external URL")
+endif()
+
+# --- usage and load errors ---------------------------------------------------
+execute_process(
+  COMMAND ${ELASTISIM} sweep-report
+  RESULT_VARIABLE exit_code
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT exit_code EQUAL 2)
+  message(FATAL_ERROR "sweep_report_smoke: bare sweep-report exited ${exit_code}, expected 2")
+endif()
+execute_process(
+  COMMAND ${ELASTISIM} sweep-report ${OUT_DIR}/does_not_exist
+  RESULT_VARIABLE exit_code
+  OUTPUT_QUIET ERROR_QUIET)
+if(NOT exit_code EQUAL 2)
+  message(FATAL_ERROR "sweep_report_smoke: missing dir exited ${exit_code}, expected 2")
+endif()
+# A v1 sweep.json (pre-aggregates) must be rejected with a schema diagnostic.
+file(MAKE_DIRECTORY ${OUT_DIR}/old_schema)
+file(WRITE ${OUT_DIR}/old_schema/sweep.json "{\"schema\": \"elastisim-sweep-v1\"}")
+execute_process(
+  COMMAND ${ELASTISIM} sweep-report ${OUT_DIR}/old_schema
+  RESULT_VARIABLE exit_code
+  OUTPUT_QUIET
+  ERROR_VARIABLE stderr_text)
+if(NOT exit_code EQUAL 2)
+  message(FATAL_ERROR "sweep_report_smoke: v1 schema exited ${exit_code}, expected 2")
+endif()
+if(NOT stderr_text MATCHES "elastisim-sweep-v2")
+  message(FATAL_ERROR "sweep_report_smoke: schema diagnostic does not name the "
+                      "expected schema:\n${stderr_text}")
+endif()
+if(EXISTS "${OUT_DIR}/old_schema/report.html")
+  message(FATAL_ERROR "sweep_report_smoke: rejected input left a partial report.html")
+endif()
+
+message(STATUS "sweep_report_smoke: aggregates + report byte-identity, section "
+               "markers, postmortem links, and error paths all hold")

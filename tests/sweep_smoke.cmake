@@ -64,8 +64,14 @@ if(NOT EXISTS ${sweep_json})
 endif()
 file(READ ${sweep_json} sweep_text)
 string(JSON schema GET "${sweep_text}" schema)
-if(NOT schema STREQUAL "elastisim-sweep-v1")
+if(NOT schema STREQUAL "elastisim-sweep-v2")
   message(FATAL_ERROR "sweep_smoke: unexpected schema \"${schema}\"")
+endif()
+# v2 carries the cross-run aggregates section: one group per surviving
+# (platform, workload, scheduler) — 2 workloads x 2 schedulers here.
+string(JSON group_count LENGTH "${sweep_text}" aggregates groups)
+if(NOT group_count EQUAL 4)
+  message(FATAL_ERROR "sweep_smoke: expected 4 aggregate groups, got ${group_count}")
 endif()
 string(JSON partial GET "${sweep_text}" partial)
 if(NOT partial STREQUAL "ON" AND NOT partial STREQUAL "true")

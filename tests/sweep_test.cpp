@@ -238,7 +238,17 @@ TEST(SweepRunTest, ResultJsonCarriesStatusesAndAggregates) {
   });
   const core::SweepResult result = runner.run();
   const json::Value report = core::sweep_result_to_json(spec, result, 2);
-  EXPECT_EQ(report.member_or("schema", ""), "elastisim-sweep-v1");
+  EXPECT_EQ(report.member_or("schema", ""), "elastisim-sweep-v2");
+  // The v2 aggregates section groups per (platform, workload, scheduler);
+  // the crashed easy-backfill cell still gets a group, with zero samples.
+  const json::Value* aggregates = report.find("aggregates");
+  ASSERT_NE(aggregates, nullptr);
+  const json::Value* groups = aggregates->find("groups");
+  ASSERT_NE(groups, nullptr);
+  ASSERT_EQ(groups->as_array().size(), 2u);
+  EXPECT_EQ(groups->as_array()[0].member_or("scheduler", ""), "fcfs");
+  EXPECT_EQ(groups->as_array()[0].member_or("succeeded", std::int64_t{0}), 1);
+  EXPECT_EQ(groups->as_array()[1].member_or("succeeded", std::int64_t{0}), 0);
   EXPECT_TRUE(report.member_or("partial", false));
   const json::Value* totals = report.find("totals");
   ASSERT_NE(totals, nullptr);

@@ -1,7 +1,9 @@
-// perf-compare — diff two BENCH_perf.json performance trajectories.
+// perf-compare — diff two BENCH_perf.json performance trajectories, or
+// render the trend across an archived history of them.
 //
 //   perf-compare <baseline.json> <candidate.json> [--threshold 0.30]
 //                [--json <deltas.json>]
+//   perf-compare --history <dir> [--json <trend.json>]
 //
 // Matches cells by (jobs, scheduler), prints per-cell percentage deltas for
 // events/sec, wall seconds per 10k jobs, and peak RSS, and exits non-zero if
@@ -9,14 +11,22 @@
 // (default 30%, the tolerance the CI perf-smoke job enforces; see
 // docs/OBSERVABILITY.md for why it is this loose). Mismatched build
 // provenance (compiler, flags, build type) only warns: the numbers are still
-// printed, but the regression verdict is unreliable across builds.
+// printed, but the regression verdict is unreliable across builds. The same
+// goes for mixed benchmark modes (a --quick cell against a full-grid cell).
 //
 // --json writes the same comparison machine-readably (schema
 // "elastisim-perf-compare-v1": per-cell baseline/candidate values and
 // ratios plus the verdict) so CI can archive deltas alongside artifacts.
+//
+// --history consumes a directory of archived snapshots — BENCH_perf.json
+// files and/or perf-compare --json outputs, ordered by filename — and prints
+// the events/sec and s/10k-jobs trend per cell across them (--json writes
+// schema "elastisim-perf-history-v1").
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -55,6 +65,14 @@ std::string delta_percent(double baseline, double candidate) {
   return buffer;
 }
 
+/// A cell's benchmark mode; older trajectories predate the per-cell tag, so
+/// fall back to the file-level --quick flag.
+std::string cell_mode(const json::Value& cell, const json::Value& file) {
+  const std::string tagged = cell.member_or("mode", "");
+  if (!tagged.empty()) return tagged;
+  return file.member_or("quick", false) ? "quick" : "full";
+}
+
 /// Warns about any build-provenance field that differs (satellite: comparing
 /// trajectories from different compilers/flags is apples to oranges).
 void warn_on_build_mismatch(const json::Value& baseline, const json::Value& candidate) {
@@ -76,24 +94,281 @@ void warn_on_build_mismatch(const json::Value& baseline, const json::Value& cand
   }
 }
 
+void usage(const std::string& program) {
+  std::fprintf(stderr,
+               "usage: %s <baseline BENCH_perf.json> <candidate BENCH_perf.json> "
+               "[--threshold 0.30] [--json <deltas.json>]\n"
+               "   or: %s --history <snapshot-dir> [--json <trend.json>]\n",
+               program.c_str(), program.c_str());
+}
+
+// --------------------------------------------------------------------------
+// --history: trend across archived snapshots
+// --------------------------------------------------------------------------
+
+/// One archived data point: a BENCH_perf.json (direct values) or a
+/// perf-compare --json output (candidate-side values).
+struct Snapshot {
+  std::string name;  ///< filename, the ordering key
+  std::string kind;  ///< "bench-perf" or "perf-compare"
+  std::string mode;  ///< quick/full/mixed/unknown
+};
+
+struct TrendCell {
+  CellKey key;
+  /// Parallel to the snapshots vector; absent cells stay nullopt.
+  std::vector<std::optional<double>> events_per_second;
+  std::vector<std::optional<double>> wall_s_per_10k_jobs;
+};
+
+TrendCell& trend_cell(std::vector<TrendCell>& cells, const CellKey& key,
+                      std::size_t snapshots) {
+  for (TrendCell& cell : cells) {
+    if (same_key(cell.key, key)) return cell;
+  }
+  TrendCell fresh;
+  fresh.key = key;
+  fresh.events_per_second.assign(snapshots, std::nullopt);
+  fresh.wall_s_per_10k_jobs.assign(snapshots, std::nullopt);
+  cells.push_back(std::move(fresh));
+  return cells.back();
+}
+
+int run_history(const std::string& dir, const std::string& json_path) {
+  std::vector<std::filesystem::path> paths;
+  try {
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() != ".json") continue;
+      paths.push_back(entry.path());
+    }
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: cannot read %s: %s\n", dir.c_str(), error.what());
+    return 2;
+  }
+  // Filename order is the timeline: archive snapshots with sortable names
+  // (0001.json, 2026-08-07.json, ...).
+  std::sort(paths.begin(), paths.end(),
+            [](const std::filesystem::path& a, const std::filesystem::path& b) {
+              return a.filename().string() < b.filename().string();
+            });
+
+  std::vector<Snapshot> snapshots;
+  std::vector<json::Value> documents;
+  for (const std::filesystem::path& path : paths) {
+    json::Value document;
+    try {
+      document = json::parse_file(path.string());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "warning: skipping %s: %s\n", path.string().c_str(),
+                   error.what());
+      continue;
+    }
+    const std::string schema = document.member_or("schema", "");
+    Snapshot snapshot;
+    snapshot.name = path.filename().string();
+    if (schema == "elastisim-bench-perf-v1") {
+      snapshot.kind = "bench-perf";
+    } else if (schema == "elastisim-perf-compare-v1") {
+      snapshot.kind = "perf-compare";
+      snapshot.mode = "unknown";  // compare outputs do not carry modes
+    } else {
+      std::fprintf(stderr, "warning: skipping %s: unexpected schema \"%s\"\n",
+                   path.string().c_str(), schema.c_str());
+      continue;
+    }
+    snapshots.push_back(std::move(snapshot));
+    documents.push_back(std::move(document));
+  }
+  if (snapshots.empty()) {
+    std::fprintf(stderr,
+                 "error: no usable snapshots in %s (want BENCH_perf.json or "
+                 "perf-compare --json files)\n",
+                 dir.c_str());
+    return 2;
+  }
+  if (snapshots.size() < 2) {
+    std::fprintf(stderr, "warning: only one snapshot in %s — no trend to show yet\n",
+                 dir.c_str());
+  }
+
+  // Fold every snapshot's cells into the per-key series, keys in
+  // first-appearance order across the timeline.
+  std::vector<TrendCell> cells;
+  for (std::size_t i = 0; i < documents.size(); ++i) {
+    const json::Value& document = documents[i];
+    Snapshot& snapshot = snapshots[i];
+    const json::Value* file_cells = document.find("cells");
+    if (file_cells == nullptr || !file_cells->is_array()) continue;
+    for (const json::Value& cell : file_cells->as_array()) {
+      CellKey key{cell.member_or("jobs", std::int64_t{0}),
+                  cell.member_or("scheduler", std::string())};
+      if (snapshot.kind == "bench-perf") {
+        const std::string mode = cell_mode(cell, document);
+        if (snapshot.mode.empty()) {
+          snapshot.mode = mode;
+        } else if (snapshot.mode != mode) {
+          snapshot.mode = "mixed";
+        }
+        TrendCell& series = trend_cell(cells, key, snapshots.size());
+        series.events_per_second[i] = cell.member_or("events_per_second", 0.0);
+        series.wall_s_per_10k_jobs[i] = cell.member_or("wall_s_per_10k_jobs", 0.0);
+      } else {
+        // perf-compare output: only matched cells carry candidate values.
+        if (cell.member_or("status", "") != "matched") continue;
+        const json::Value* metrics = cell.find("metrics");
+        if (metrics == nullptr) continue;
+        TrendCell& series = trend_cell(cells, key, snapshots.size());
+        if (const json::Value* eps = metrics->find("events_per_second")) {
+          series.events_per_second[i] = eps->member_or("candidate", 0.0);
+        }
+        if (const json::Value* wall = metrics->find("wall_s_per_10k_jobs")) {
+          series.wall_s_per_10k_jobs[i] = wall->member_or("candidate", 0.0);
+        }
+      }
+    }
+  }
+  if (cells.empty()) {
+    std::fprintf(stderr, "error: snapshots in %s carry no cells\n", dir.c_str());
+    return 2;
+  }
+
+  // Mixed benchmark modes across the timeline make the trend lines jump for
+  // reasons that have nothing to do with performance.
+  bool mixed_modes = false;
+  std::string first_mode;
+  for (const Snapshot& snapshot : snapshots) {
+    if (snapshot.mode.empty() || snapshot.mode == "unknown") continue;
+    if (first_mode.empty()) {
+      first_mode = snapshot.mode;
+    } else if (snapshot.mode != first_mode) {
+      mixed_modes = true;
+    }
+  }
+  if (mixed_modes) {
+    std::fprintf(stderr,
+                 "warning: history mixes quick and full benchmark modes — trend "
+                 "deltas across mode boundaries are not comparable\n");
+  }
+
+  std::printf("history: %zu snapshot%s from %s\n", snapshots.size(),
+              snapshots.size() == 1 ? "" : "s", dir.c_str());
+  for (std::size_t i = 0; i < snapshots.size(); ++i) {
+    std::printf("  [%zu] %s (%s%s%s)\n", i, snapshots[i].name.c_str(),
+                snapshots[i].kind.c_str(), snapshots[i].mode.empty() ? "" : ", ",
+                snapshots[i].mode.c_str());
+  }
+
+  const auto print_trend = [&](const char* title,
+                               std::vector<std::optional<double>> TrendCell::* series,
+                               int precision) {
+    std::printf("\n%s\n", title);
+    std::printf("%-16s %6s", "scheduler", "jobs");
+    for (std::size_t i = 0; i < snapshots.size(); ++i) {
+      std::printf(" %10s", ("[" + std::to_string(i) + "]").c_str());
+    }
+    std::printf(" %10s\n", "trend");
+    for (const TrendCell& cell : cells) {
+      std::printf("%-16s %6lld", cell.key.scheduler.c_str(),
+                  static_cast<long long>(cell.key.jobs));
+      std::optional<double> first;
+      std::optional<double> last;
+      std::size_t points = 0;
+      for (const std::optional<double>& value : cell.*series) {
+        if (value.has_value()) {
+          std::printf(" %10.*f", precision, *value);
+          if (!first.has_value()) first = value;
+          last = value;
+          ++points;
+        } else {
+          std::printf(" %10s", "-");
+        }
+      }
+      // first-to-last delta; meaningless with fewer than two data points.
+      if (points >= 2) {
+        std::printf(" %10s", delta_percent(*first, *last).c_str());
+      } else {
+        std::printf(" %10s", "n/a");
+      }
+      std::printf("\n");
+    }
+  };
+  print_trend("events/sec trend (higher is better):",
+              &TrendCell::events_per_second, 0);
+  print_trend("wall seconds per 10k jobs trend (lower is better):",
+              &TrendCell::wall_s_per_10k_jobs, 3);
+
+  if (!json_path.empty()) {
+    json::Object out;
+    out["schema"] = "elastisim-perf-history-v1";
+    out["snapshot_count"] = snapshots.size();
+    out["mixed_modes"] = mixed_modes;
+    json::Array snapshot_list;
+    for (const Snapshot& snapshot : snapshots) {
+      json::Object entry;
+      entry["file"] = snapshot.name;
+      entry["kind"] = snapshot.kind;
+      entry["mode"] = snapshot.mode.empty() ? std::string("unknown") : snapshot.mode;
+      snapshot_list.emplace_back(std::move(entry));
+    }
+    out["snapshots"] = json::Value(std::move(snapshot_list));
+    json::Array cell_list;
+    for (const TrendCell& cell : cells) {
+      json::Object entry;
+      entry["scheduler"] = cell.key.scheduler;
+      entry["jobs"] = cell.key.jobs;
+      const auto series_json = [&](const std::vector<std::optional<double>>& series) {
+        json::Array values;
+        for (const std::optional<double>& value : series) {
+          if (value.has_value()) {
+            values.emplace_back(*value);
+          } else {
+            values.emplace_back(nullptr);
+          }
+        }
+        return json::Value(std::move(values));
+      };
+      entry["events_per_second"] = series_json(cell.events_per_second);
+      entry["wall_s_per_10k_jobs"] = series_json(cell.wall_s_per_10k_jobs);
+      cell_list.emplace_back(std::move(entry));
+    }
+    out["cells"] = json::Value(std::move(cell_list));
+    try {
+      json::write_file(json_path, json::Value(std::move(out)));
+      std::printf("wrote %s\n", json_path.c_str());
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 2;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Flags flags(argc, argv);
   const auto& positional = flags.positional();
-  if (positional.size() != 2) {
-    std::fprintf(stderr,
-                 "usage: %s <baseline BENCH_perf.json> <candidate BENCH_perf.json> "
-                 "[--threshold 0.30] [--json <deltas.json>]\n",
-                 flags.program().c_str());
-    return 2;
-  }
-  const double threshold = flags.get("threshold", 0.30);
   const std::string json_path = flags.get("json", std::string());
   if (flags.has("json") && (json_path.empty() || json_path == "true")) {
     std::fprintf(stderr, "error: --json requires a file path\n");
     return 2;
   }
+
+  const std::string history_dir = flags.get("history", std::string());
+  if (flags.has("history")) {
+    if (history_dir.empty() || history_dir == "true" || !positional.empty()) {
+      usage(flags.program());
+      return 2;
+    }
+    return run_history(history_dir, json_path);
+  }
+
+  if (positional.size() != 2) {
+    usage(flags.program());
+    return 2;
+  }
+  const double threshold = flags.get("threshold", 0.30);
 
   json::Value baseline;
   json::Value candidate;
@@ -126,6 +401,7 @@ int main(int argc, char** argv) {
   std::size_t matched = 0;
   std::size_t removed = 0;
   std::size_t added = 0;
+  std::size_t mixed_mode_cells = 0;
   json::Array delta_cells;
   for (const json::Value& base_cell : base_cells->as_array()) {
     CellKey key{base_cell.member_or("jobs", std::int64_t{0}),
@@ -147,6 +423,19 @@ int main(int argc, char** argv) {
       continue;
     }
     ++matched;
+    // Satellite: a --quick cell against a full-grid cell shares the key but
+    // not the workload shape; flag it rather than let the delta mislead.
+    const std::string base_mode = cell_mode(base_cell, baseline);
+    const std::string cand_mode = cell_mode(*cand_cell, candidate);
+    const bool mixed_mode = base_mode != cand_mode;
+    if (mixed_mode) {
+      ++mixed_mode_cells;
+      std::fprintf(stderr,
+                   "warning: (%lld, %s) compares %s-mode baseline against %s-mode "
+                   "candidate — not like-for-like\n",
+                   static_cast<long long>(key.jobs), key.scheduler.c_str(),
+                   base_mode.c_str(), cand_mode.c_str());
+    }
     const double base_eps = base_cell.member_or("events_per_second", 0.0);
     const double cand_eps = cand_cell->member_or("events_per_second", 0.0);
     std::printf("%-16s %6lld %12.0f %12.0f %10s %10s %10s\n", key.scheduler.c_str(),
@@ -170,6 +459,7 @@ int main(int argc, char** argv) {
     entry["scheduler"] = key.scheduler;
     entry["jobs"] = key.jobs;
     entry["status"] = "matched";
+    entry["mixed_mode"] = mixed_mode;
     json::Object metrics;
     for (const char* metric :
          {"events_per_second", "wall_s_per_10k_jobs", "peak_rss_bytes"}) {
@@ -219,6 +509,7 @@ int main(int argc, char** argv) {
     out["matched_cells"] = matched;
     out["removed_cells"] = removed;
     out["added_cells"] = added;
+    out["mixed_mode_cells"] = mixed_mode_cells;
     out["regressed"] = regressed;
     out["cells"] = json::Value(std::move(delta_cells));
     try {
