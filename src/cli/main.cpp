@@ -137,6 +137,7 @@ double duration_flag(const util::Flags& flags, const std::string& name, double f
 /// Cooperative single-run interrupt: the SIGINT/SIGTERM handler cancels this
 /// token, the engine stops between events, and the normal artifact-writing
 /// path still runs (summary.json lands with "partial": true, exit 130).
+// elsim-lint: allow(mutable-static) -- single-run CLI path; the token's flag is atomic and the handler is installed before the engine starts
 sim::CancellationToken g_run_token;
 
 void handle_run_signal(int) {

@@ -25,7 +25,7 @@ namespace {
 /// it into cooperative cancellation of every in-flight cell.
 std::atomic<bool> g_sweep_interrupt{false};
 
-void handle_sweep_signal(int) { g_sweep_interrupt.store(true, std::memory_order_relaxed); }
+void handle_sweep_signal(int) { g_sweep_interrupt.store(true); }
 
 void usage(const char* program) {
   std::fprintf(stderr,
@@ -205,7 +205,7 @@ int run_sweep(const util::Flags& flags) {
               runner.spec().workloads.size(), runner.spec().schedulers.size(),
               runner.spec().seeds.size(), threads);
 
-  g_sweep_interrupt.store(false, std::memory_order_relaxed);
+  g_sweep_interrupt.store(false);
   std::signal(SIGINT, handle_sweep_signal);
   std::signal(SIGTERM, handle_sweep_signal);
   core::SweepResult result = runner.run();

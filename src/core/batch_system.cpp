@@ -744,6 +744,7 @@ void BatchSystem::evict_job(Managed& job, platform::NodeId failed_node) {
 // Scheduler invocation
 // ---------------------------------------------------------------------------
 
+// elsim-hot: the scheduling-point scan; fires on submit/finish/boundary.
 void BatchSystem::invoke_scheduler(stats::JournalCause cause) {
   if (in_scheduler_) {
     rerun_scheduler_ = true;
@@ -774,9 +775,11 @@ void BatchSystem::invoke_scheduler(stats::JournalCause cause) {
       rebuild_views();
       scheduler_jobs_scanned_ +=
           static_cast<std::uint64_t>(queue_view_.size() + running_view_.size());
+      // elsim-lint: allow(hot-virtual-loop) -- the virtual call IS the scheduler plugin API; one dispatch per convergence round, not per job
       scheduler_->schedule(*this);
       if (++rounds > 1000) {
         ELSIM_ERROR("scheduler did not converge after 1000 rounds at t={}; giving up",
+                    // elsim-lint: allow(hot-virtual-loop) -- divergence error path, reached at most once per run; Engine::now is also non-virtual (name collides with SchedulerContext::now)
                     engine_->now());
         break;
       }
@@ -811,6 +814,7 @@ void BatchSystem::invoke_scheduler(stats::JournalCause cause) {
       for (JobId id : queue_order_) {
         if (!journal_->has_held_verdict(id)) {
           journal_->add({id, stats::VerdictAction::kHeld,
+                         // elsim-lint: allow(hot-alloc) -- journal-gated path; an empty std::string never allocates
                          stats::HoldReason::kNotConsidered, 0, 0, std::string()});
         }
       }
@@ -836,11 +840,12 @@ bool BatchSystem::test_corrupt_double_allocation(workload::JobId id) {
 }
 
 void BatchSystem::rebuild_views() {
+  const sim::SimTime now = engine_->now();  // hoisted: one clock read per rebuild
   queue_view_.clear();
   queue_view_.reserve(queue_order_.size());
   for (JobId id : queue_order_) {
     const Managed& job = managed(id);
-    queue_view_.push_back(QueuedJob{&job.job, engine_->now() - job.job.submit_time});
+    queue_view_.push_back(QueuedJob{&job.job, now - job.job.submit_time});
   }
   running_view_.clear();
   running_view_.reserve(running_order_.size());
@@ -848,7 +853,7 @@ void BatchSystem::rebuild_views() {
     const Managed& job = managed(id);
     double remaining = sim::kTimeInfinity;
     if (std::isfinite(job.job.walltime_limit)) {
-      remaining = std::max(0.0, job.start_time + job.job.walltime_limit - engine_->now());
+      remaining = std::max(0.0, job.start_time + job.job.walltime_limit - now);
     }
     const int nodes = static_cast<int>(job.nodes.size());
     running_view_.push_back(RunningJob{&job.job, job.start_time, nodes, remaining,

@@ -384,8 +384,11 @@ class FdWriter {
 
 /// Build provenance pre-rendered at handler-install time (building it live
 /// allocates, which a signal handler must not).
+// elsim-lint: allow(mutable-static) -- crash-handler scratch; written only at install time, read only inside the signal handler
 char g_crash_build_json[1024] = {0};
+// elsim-lint: allow(mutable-static) -- crash-handler scratch; written only at install time, read only inside the signal handler
 FlightRecorder* g_crash_recorder = nullptr;
+// elsim-lint: allow(mutable-static) -- crash-handler scratch; written only at install time, read only inside the signal handler
 char g_crash_path[512] = {0};
 
 }  // namespace

@@ -64,6 +64,7 @@ void Engine::flush_dispatch_batch(double wall_end) {
   batch_events_ = 0;
 }
 
+// elsim-hot: the per-event dispatch loop; everything here runs once per event.
 SimTime Engine::run() {
   // One dispatch scope for the whole drain, not one per event: nested phases
   // (fluid solves, scheduler, sinks, faults) attribute identically, per-event
@@ -85,6 +86,7 @@ SimTime Engine::run() {
   return now_;
 }
 
+// elsim-hot: bounded variant of the dispatch loop.
 SimTime Engine::run_until(SimTime deadline) {
   ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kEngineDispatch);
   while (!queue_.empty() && queue_.next_time() <= deadline) {

@@ -5,6 +5,7 @@
 
 namespace elastisim::sim {
 
+// elsim-hot: every scheduled event passes through here.
 EventId EventQueue::push(SimTime when, Callback callback) {
   const EventId id = next_id_++;
   heap_.push(Entry{when, next_seq_++, id});
@@ -31,6 +32,7 @@ SimTime EventQueue::next_time() {
   return heap_.top().time;
 }
 
+// elsim-hot: every dispatched event passes through here.
 std::pair<SimTime, EventQueue::Callback> EventQueue::pop() {
   drop_cancelled();
   assert(!heap_.empty() && "pop() on empty event queue");

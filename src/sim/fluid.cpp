@@ -143,6 +143,7 @@ std::optional<std::string> FluidModel::check_invariants() const {
   return std::nullopt;
 }
 
+// elsim-hot: runs before every rate change; touches every live activity.
 void FluidModel::settle() {
   // Deliberately unscoped: settle runs ~once per solve and its own time is a
   // fraction of a percent of a run, so a scope here would cost more than the
@@ -160,6 +161,7 @@ void FluidModel::settle() {
   last_settle_ = now;
 }
 
+// elsim-hot: the progressive-filling solve; reruns on every share change.
 void FluidModel::rebalance() {
   ELSIM_PROFILE_SCOPE(stats::profiler::Phase::kFluidSolve);
   ++rebalance_count_;
@@ -169,15 +171,19 @@ void FluidModel::rebalance() {
   }
   telemetry::ScopedTimer timer(telemetry::enabled() ? rebalance_hist_ : nullptr);
 
-  // Working state for progressive filling.
-  std::vector<double> avail(resources_.size());
-  std::vector<double> weight_sum(resources_.size(), 0.0);
+  // Working state for progressive filling, kept in member scratch buffers so
+  // steady-state solves do not allocate.
+  std::vector<double>& avail = scratch_avail_;
+  std::vector<double>& weight_sum = scratch_weight_sum_;
+  avail.assign(resources_.size(), 0.0);
+  weight_sum.assign(resources_.size(), 0.0);
   for (std::size_t r = 0; r < resources_.size(); ++r) {
     avail[r] = resources_[r].capacity;
     resources_[r].consumption = 0.0;
   }
 
-  std::vector<ActivityId> unfrozen;
+  std::vector<ActivityId>& unfrozen = scratch_unfrozen_;
+  unfrozen.clear();
   unfrozen.reserve(order_.size());
   for (ActivityId id : order_) {
     Activity& activity = activities_.at(id);
@@ -210,7 +216,8 @@ void FluidModel::rebalance() {
     // Identify the freeze set at this level; subtract each frozen activity's
     // consumption from the pools as it freezes (single pass, no membership
     // lookups).
-    std::vector<ActivityId> still_unfrozen;
+    std::vector<ActivityId>& still_unfrozen = scratch_next_unfrozen_;
+    still_unfrozen.clear();
     still_unfrozen.reserve(unfrozen.size());
     std::size_t frozen_this_round = 0;
     const bool cap_binding = lambda_cap <= lambda_res;
@@ -248,7 +255,7 @@ void FluidModel::rebalance() {
       }
       break;
     }
-    unfrozen = std::move(still_unfrozen);
+    unfrozen.swap(still_unfrozen);  // ping-pong the scratch buffers, no realloc
   }
 
   // Refresh per-resource consumption and reschedule completion events.

@@ -150,6 +150,14 @@ class FluidModel {
   std::uint64_t activities_touched_ = 0;
   /// Telemetry sink for rebalance wall times (null while disabled).
   telemetry::Histogram* rebalance_hist_ = nullptr;
+  /// Scratch buffers for rebalance(). The solve runs on every share change,
+  /// so its working vectors live here and are reused across calls instead of
+  /// being reallocated per solve; rebalance() never recurses, which makes the
+  /// reuse safe.
+  std::vector<double> scratch_avail_;
+  std::vector<double> scratch_weight_sum_;
+  std::vector<ActivityId> scratch_unfrozen_;
+  std::vector<ActivityId> scratch_next_unfrozen_;
 };
 
 }  // namespace elastisim::sim

@@ -187,6 +187,7 @@ json::Value Profiler::report() const {
 }
 
 Profiler& Profiler::global() noexcept {
+  // elsim-lint: allow(mutable-static) -- intentional process-wide singleton; Profiler serialises access internally
   static Profiler profiler;
   return profiler;
 }

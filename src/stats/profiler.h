@@ -85,6 +85,7 @@ struct PhaseStats {
 };
 
 namespace detail {
+// elsim-lint: allow(mutable-static) -- toggled once at process start before engines run; an atomic here would tax every profiling probe
 inline bool g_enabled = false;
 
 /// The hot-path clock: raw timestamp-counter ticks, roughly 3x cheaper than

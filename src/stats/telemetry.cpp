@@ -184,6 +184,7 @@ json::Value Registry::to_json() const {
 }
 
 Registry& Registry::global() {
+  // elsim-lint: allow(mutable-static) -- intentional process-wide singleton; counters are only touched from the engine thread
   static Registry registry;
   return registry;
 }

@@ -25,6 +25,7 @@
 namespace elastisim::telemetry {
 
 namespace detail {
+// elsim-lint: allow(mutable-static) -- toggled once at process start before engines run; instrumentation sites read it on the hot path
 inline bool g_enabled = false;
 }  // namespace detail
 

@@ -6,6 +6,7 @@
 namespace elastisim::util {
 
 namespace {
+// elsim-lint: allow(mutable-static) -- set once by the CLI before any worker thread exists; read-only afterwards
 LogLevel g_level = LogLevel::kWarn;
 
 std::string_view level_name(LogLevel level) {

@@ -1,0 +1,88 @@
+# elsim-lint baseline workflow smoke, run as a CTest script:
+#   cmake -DELSIM_LINT=<binary> -DOUT_DIR=<dir> -P lint_baseline_smoke.cmake
+#
+# Drives the --baseline / --update-baseline round trip end to end against a
+# deliberately dirty fixture:
+#   - without a baseline the findings fail the run (exit 1),
+#   - a missing or malformed baseline file is a usage error (exit 2),
+#   - --update-baseline records the findings and exits 0,
+#   - a rerun against the recorded baseline is clean (exit 0) and the JSON
+#     report counts the findings as baselined, not new,
+#   - a freshly introduced violation still fails (exit 1) until the baseline
+#     is re-recorded.
+cmake_minimum_required(VERSION 3.19)
+
+foreach(var ELSIM_LINT OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "lint_baseline_smoke: missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE ${OUT_DIR})
+file(MAKE_DIRECTORY ${OUT_DIR})
+
+set(fixture ${OUT_DIR}/dirty.cpp)
+set(baseline ${OUT_DIR}/lint-baseline.json)
+
+file(WRITE ${fixture} "int noise() { return rand(); }\n")
+
+function(run_lint expect_code)
+  execute_process(
+    COMMAND ${ELSIM_LINT} --quiet ${ARGN} ${fixture}
+    RESULT_VARIABLE exit_code
+    OUTPUT_VARIABLE stdout_text ERROR_VARIABLE stderr_text)
+  if(NOT exit_code EQUAL ${expect_code})
+    message(FATAL_ERROR "lint_baseline_smoke: elsim-lint ${ARGN} exited "
+                        "${exit_code}, expected ${expect_code}\n"
+                        "${stdout_text}\n${stderr_text}")
+  endif()
+endfunction()
+
+# 1. The dirty fixture fails a plain run.
+run_lint(1)
+
+# 2. A baseline path that does not exist is an I/O error, not a silent pass.
+run_lint(2 --baseline ${OUT_DIR}/no-such-baseline.json)
+
+# 3. A malformed baseline is rejected.
+file(WRITE ${OUT_DIR}/garbage.json "{\"schema\": \"wrong\"}")
+run_lint(2 --baseline ${OUT_DIR}/garbage.json)
+
+# 4. Recording the baseline accepts the current findings.
+run_lint(0 --baseline ${baseline} --update-baseline)
+if(NOT EXISTS ${baseline})
+  message(FATAL_ERROR "lint_baseline_smoke: --update-baseline wrote no file")
+endif()
+file(READ ${baseline} baseline_text)
+if(NOT baseline_text MATCHES "elsim-lint-baseline-v1")
+  message(FATAL_ERROR "lint_baseline_smoke: baseline lacks the schema tag:\n"
+                      "${baseline_text}")
+endif()
+if(NOT baseline_text MATCHES "raw-random")
+  message(FATAL_ERROR "lint_baseline_smoke: baseline did not record the "
+                      "raw-random finding:\n${baseline_text}")
+endif()
+
+# 5. A rerun against the baseline is clean, and the report books the finding
+#    as baselined rather than new.
+set(report ${OUT_DIR}/report.json)
+run_lint(0 --baseline ${baseline} --json ${report})
+file(READ ${report} report_text)
+if(NOT report_text MATCHES "\"baselined_count\": 1")
+  message(FATAL_ERROR "lint_baseline_smoke: report did not count the finding "
+                      "as baselined:\n${report_text}")
+endif()
+if(NOT report_text MATCHES "\"new_count\": 0")
+  message(FATAL_ERROR "lint_baseline_smoke: report counted baselined findings "
+                      "as new:\n${report_text}")
+endif()
+
+# 6. A new violation on top of the baseline still fails ...
+file(APPEND ${fixture} "long stamp() { return time(nullptr); }\n")
+run_lint(1 --baseline ${baseline})
+
+# 7. ... until the baseline is re-recorded.
+run_lint(0 --baseline ${baseline} --update-baseline)
+run_lint(0 --baseline ${baseline})
+
+message(STATUS "lint_baseline_smoke: all checks passed")

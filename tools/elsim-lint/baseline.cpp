@@ -1,0 +1,83 @@
+// Baseline workflow: a committed elsim-lint-baseline-v1 file records
+// accepted unsuppressed findings so a new rule can land (and gate on
+// regressions) before the tree is clean. Keys are file|rule|snippet —
+// line-number independent, so edits above a baselined finding do not
+// invalidate it — and counted as a multiset so a duplicated hazard still
+// fails.
+#include <stdexcept>
+
+#include "elsim-lint/lint.h"
+#include "json/json.h"
+
+namespace elsimlint {
+
+namespace json = elastisim::json;
+
+namespace {
+constexpr const char* kSchema = "elsim-lint-baseline-v1";
+}  // namespace
+
+std::string baseline_key(const Finding& finding) {
+  return finding.file + "|" + finding.rule + "|" + finding.snippet;
+}
+
+Baseline parse_baseline(const std::string& text) {
+  json::Value root;
+  try {
+    root = json::parse(text);
+  } catch (const std::exception& error) {
+    throw std::runtime_error(std::string("baseline: ") + error.what());
+  }
+  if (root.member_or("schema", "") != kSchema) {
+    throw std::runtime_error(
+        std::string("baseline: unrecognised schema (expected ") + kSchema + ")");
+  }
+  const json::Value* items = root.find("findings");
+  if (items == nullptr || !items->is_array()) {
+    throw std::runtime_error("baseline: missing findings array");
+  }
+  Baseline baseline;
+  for (const json::Value& item : items->as_array()) {
+    Finding finding;
+    finding.file = item.member_or("file", "");
+    finding.rule = item.member_or("rule", "");
+    finding.snippet = item.member_or("snippet", "");
+    if (finding.rule.empty()) {
+      throw std::runtime_error("baseline: finding entry without a rule");
+    }
+    ++baseline.accepted[baseline_key(finding)];
+  }
+  return baseline;
+}
+
+std::string baseline_to_json(const std::vector<Finding>& findings) {
+  json::Array items;
+  for (const Finding& finding : findings) {
+    if (finding.suppressed) continue;  // already waived in source
+    json::Object item;
+    item["file"] = finding.file;
+    item["rule"] = finding.rule;
+    item["snippet"] = finding.snippet;
+    items.push_back(json::Value(std::move(item)));
+  }
+  json::Object out;
+  out["schema"] = kSchema;
+  out["findings"] = json::Value(std::move(items));
+  return json::dump_pretty(json::Value(std::move(out)));
+}
+
+std::size_t apply_baseline(std::vector<Finding>& findings, const Baseline& baseline) {
+  std::map<std::string, std::size_t> budget = baseline.accepted;
+  std::size_t marked = 0;
+  for (Finding& finding : findings) {
+    if (finding.suppressed) continue;
+    const auto it = budget.find(baseline_key(finding));
+    if (it == budget.end() || it->second == 0) continue;
+    --it->second;
+    finding.baselined = true;
+    ++marked;
+  }
+  return marked;
+}
+
+}  // namespace elsimlint

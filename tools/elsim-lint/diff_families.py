@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Per-family gate over an elsim-lint JSON report (schema v2).
+
+Usage: diff_families.py <report.json>
+
+Prints one line per rule family (findings / suppressed / baselined / new)
+and exits non-zero if any family carries new findings — CI runs this after
+the baseline-aware lint step so the job log names the offending family
+instead of a bare exit code.
+"""
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as handle:
+            report = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"diff_families: cannot read report: {error}", file=sys.stderr)
+        return 2
+    if report.get("version") != 2 or not isinstance(report.get("families"), dict):
+        print("diff_families: not an elsim-lint v2 report (missing families block)",
+              file=sys.stderr)
+        return 2
+
+    failed = []
+    print(f"{'family':<12} {'findings':>8} {'suppressed':>10} {'baselined':>9} {'new':>5}")
+    for family, tally in report["families"].items():
+        new = int(tally.get("new", 0))
+        print(f"{family:<12} {int(tally.get('findings', 0)):>8} "
+              f"{int(tally.get('suppressed', 0)):>10} "
+              f"{int(tally.get('baselined', 0)):>9} {new:>5}")
+        if new > 0:
+            failed.append(family)
+    if failed:
+        print(f"diff_families: new findings in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("diff_families: no new findings in any family")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,289 @@
+// Lexical function-definition extraction and the function-level index pass:
+// `// elsim-hot` annotations, their plain callees (one-level hot
+// propagation), and signal-handler registrations.
+#include <cctype>
+
+#include "elsim-lint/internal.h"
+
+namespace elsimlint {
+
+namespace detail {
+
+namespace {
+
+/// Keywords that look like `name(` but never open a function definition.
+bool is_control_keyword(const std::string& word) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",      "while",    "switch",   "catch",         "return",
+      "sizeof", "alignof",  "decltype", "noexcept", "static_assert", "assert",
+      "new",    "delete",   "throw",    "operator", "defined",       "alignas",
+  };
+  return kKeywords.count(word) != 0;
+}
+
+/// Consumes a balanced bracket group starting at `pos` if one opens there;
+/// returns the index just past it, or `pos` unchanged.
+std::size_t skip_group(const std::string& code, std::size_t pos, char open_c,
+                       char close_c) {
+  if (pos >= code.size() || code[pos] != open_c) return pos;
+  const std::size_t close = match_forward(code, pos, open_c, close_c);
+  return close == std::string::npos ? code.size() : close + 1;
+}
+
+/// From just after the parameter-list ')', finds the body '{' of a function
+/// definition, skipping cv/ref qualifiers, noexcept(...), trailing return
+/// types, and a constructor-initializer list. npos when this is a
+/// declaration, a call, or anything else.
+std::size_t find_body_brace(const std::string& code, std::size_t pos) {
+  std::size_t i = skip_space(code, pos);
+  while (i < code.size()) {
+    const char c = code[i];
+    if (c == '{') return i;
+    if (c == ';' || c == '=' || c == ',' || c == ')' || c == ']' || c == '#') {
+      return std::string::npos;
+    }
+    if (c == '&') {  // ref-qualified member (&, &&)
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+      // Trailing return type: scan to the body brace or a terminator,
+      // consuming balanced parens (decltype(...)).
+      i += 2;
+      while (i < code.size() && code[i] != '{' && code[i] != ';' && code[i] != '=') {
+        if (code[i] == '(') {
+          i = skip_group(code, i, '(', ')');
+        } else {
+          ++i;
+        }
+      }
+      continue;
+    }
+    if (c == ':' && (i + 1 >= code.size() || code[i + 1] != ':')) {
+      // Constructor-initializer list: `name(args)` or `name{args}` entries
+      // separated by commas, then the body brace.
+      i = skip_space(code, i + 1);
+      while (i < code.size()) {
+        // Entry name, possibly qualified/templated (Base<T>::Base).
+        while (i < code.size() &&
+               (is_ident(code[i]) || code[i] == ':' || code[i] == '<' ||
+                code[i] == '>' || code[i] == ' ' || code[i] == '\n')) {
+          if (code[i] == '<') {
+            i = skip_group(code, i, '<', '>');
+          } else {
+            ++i;
+          }
+        }
+        if (i >= code.size()) return std::string::npos;
+        if (code[i] == '(') {
+          i = skip_space(code, skip_group(code, i, '(', ')'));
+        } else if (code[i] == '{') {
+          // `member{...}` — unless this is already the body (preceded by
+          // ',' handling below, a bare '{' right after an entry separator
+          // is ambiguous; entries always carry an initializer group, so a
+          // '{' reached here after consuming a name is that group).
+          i = skip_space(code, skip_group(code, i, '{', '}'));
+        } else {
+          return std::string::npos;
+        }
+        if (i < code.size() && code[i] == ',') {
+          i = skip_space(code, i + 1);
+          continue;
+        }
+        if (i < code.size() && code[i] == '{') return i;
+        return std::string::npos;
+      }
+      return std::string::npos;
+    }
+    if (is_ident_start(c)) {
+      const std::string word = read_ident(code, i);
+      if (word == "const" || word == "override" || word == "final" ||
+          word == "mutable" || word == "volatile") {
+        i += word.size();
+        continue;
+      }
+      if (word == "noexcept") {
+        i = skip_space(code, i + word.size());
+        i = skip_group(code, i, '(', ')');
+        continue;
+      }
+      return std::string::npos;  // a type token: declaration like `int f(), g;`
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+std::vector<FunctionDef> find_functions(const SourceFile& file) {
+  const std::string& code = file.code;
+  std::vector<FunctionDef> out;
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] != '(') continue;
+    // The identifier (possibly Qual::name) directly before the '('.
+    std::size_t end = i;
+    while (end > 0 && std::isspace(static_cast<unsigned char>(code[end - 1]))) --end;
+    if (end == 0 || !is_ident(code[end - 1])) continue;
+    std::size_t begin = end;
+    while (begin > 0 && is_ident(code[begin - 1])) --begin;
+    if (!is_ident_start(code[begin])) continue;
+    if (begin > 0 && code[begin - 1] == '~') continue;  // destructor
+    const std::string name = code.substr(begin, end - begin);
+    if (is_control_keyword(name)) continue;
+    // Walk the qualification chain backwards (EventQueue::pop).
+    std::size_t qual_begin = begin;
+    while (qual_begin >= 2 && code[qual_begin - 1] == ':' && code[qual_begin - 2] == ':') {
+      std::size_t prev_end = qual_begin - 2;
+      std::size_t prev_begin = prev_end;
+      while (prev_begin > 0 && is_ident(code[prev_begin - 1])) --prev_begin;
+      if (prev_begin == prev_end) break;
+      qual_begin = prev_begin;
+    }
+    const std::size_t close = match_forward(code, i, '(', ')');
+    if (close == std::string::npos) continue;
+    const std::size_t body = find_body_brace(code, close + 1);
+    if (body == std::string::npos) continue;
+    const std::size_t body_end = match_forward(code, body, '{', '}');
+    if (body_end == std::string::npos) continue;
+    FunctionDef fn;
+    fn.name = name;
+    fn.qualified = code.substr(qual_begin, end - qual_begin);
+    fn.name_pos = begin;
+    fn.body_begin = body;
+    fn.body_end = body_end;
+    out.push_back(std::move(fn));
+  }
+  return out;
+}
+
+bool has_hot_annotation(const SourceFile& file, const FunctionDef& fn,
+                        const LineMap& lines) {
+  // Only the signature line and the line directly above count: a wider
+  // window would let an annotation bleed onto an adjacent function.
+  const std::size_t sig_line = lines.line_of(fn.name_pos);
+  for (std::size_t line = sig_line >= 1 ? sig_line - 1 : 1; line <= sig_line; ++line) {
+    if (line < 1 || line > file.comments.size()) continue;
+    if (file.comments[line - 1].find("elsim-hot") != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::set<std::string> plain_callees(const std::string& code, const FunctionDef& fn) {
+  std::set<std::string> out;
+  for (std::size_t i = fn.body_begin + 1; i < fn.body_end && i < code.size(); ++i) {
+    if (code[i] != '(') continue;
+    std::size_t end = i;
+    while (end > fn.body_begin &&
+           std::isspace(static_cast<unsigned char>(code[end - 1]))) {
+      --end;
+    }
+    if (end == fn.body_begin || !is_ident(code[end - 1])) continue;
+    std::size_t begin = end;
+    while (begin > fn.body_begin && is_ident(code[begin - 1])) --begin;
+    if (!is_ident_start(code[begin])) continue;
+    const std::string name = code.substr(begin, end - begin);
+    if (is_control_keyword(name)) continue;
+    // Member calls on other objects (`obj.f(`, `p->f(`) and qualified calls
+    // (`ns::f(`) stay the callee's responsibility — annotate those functions
+    // directly. Only plain calls propagate hotness.
+    const char before = begin > 0 ? code[begin - 1] : '\0';
+    if (before == '.' || before == ':' || before == '~') continue;
+    if (before == '>' && begin >= 2 && code[begin - 2] == '-') continue;
+    out.insert(name);
+  }
+  return out;
+}
+
+bool is_hot(const SymbolIndex& index, const FunctionDef& fn) {
+  return index.hot_functions.count(fn.qualified) != 0 ||
+         index.hot_functions.count(fn.name) != 0;
+}
+
+}  // namespace detail
+
+void index_functions(const SourceFile& file, SymbolIndex& index) {
+  const detail::LineMap lines(file.code);
+  for (const detail::FunctionDef& fn : detail::find_functions(file)) {
+    if (!detail::has_hot_annotation(file, fn, lines)) continue;
+    index.hot_annotated.insert(fn.qualified);
+    std::set<std::string>& callees = index.hot_callees[fn.qualified];
+    for (const std::string& callee : detail::plain_callees(file.code, fn)) {
+      callees.insert(callee);
+    }
+  }
+
+  // Signal-handler registrations: std::signal(SIG..., handler) and
+  // sigaction-style `sa.sa_handler = handler` / `sa_sigaction = handler`.
+  const std::string& code = file.code;
+  std::size_t pos = 0;
+  while ((pos = code.find("signal", pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += 6;
+    if (!detail::word_at(code, at, "signal")) continue;
+    std::size_t open = detail::skip_space(code, at + 6);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = detail::match_forward(code, open, '(', ')');
+    if (close == std::string::npos) continue;
+    // Second top-level argument.
+    int depth = 0;
+    std::size_t comma = std::string::npos;
+    for (std::size_t i = open + 1; i < close; ++i) {
+      const char c = code[i];
+      if (c == '(' || c == '<' || c == '[' || c == '{') ++depth;
+      if (c == ')' || c == '>' || c == ']' || c == '}') --depth;
+      if (c == ',' && depth == 0) {
+        comma = i;
+        break;
+      }
+    }
+    if (comma == std::string::npos) continue;
+    std::size_t i = detail::skip_space(code, comma + 1);
+    if (i < code.size() && code[i] == '&') i = detail::skip_space(code, i + 1);
+    // Strip any qualification (cli::handler → handler).
+    std::string name = detail::read_ident(code, i);
+    while (!name.empty() && code.compare(i + name.size(), 2, "::") == 0) {
+      i += name.size() + 2;
+      name = detail::read_ident(code, i);
+    }
+    if (name.empty() || name == "SIG_DFL" || name == "SIG_IGN" || name == "nullptr") {
+      continue;
+    }
+    index.signal_handlers.insert(name);
+  }
+  for (const std::string& field : {std::string("sa_handler"), std::string("sa_sigaction")}) {
+    pos = 0;
+    while ((pos = code.find(field, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += field.size();
+      if (!detail::word_at(code, at, field)) continue;
+      std::size_t i = detail::skip_space(code, at + field.size());
+      if (i >= code.size() || code[i] != '=') continue;
+      i = detail::skip_space(code, i + 1);
+      if (i < code.size() && code[i] == '&') i = detail::skip_space(code, i + 1);
+      const std::string name = detail::read_ident(code, i);
+      if (!name.empty() && name != "SIG_DFL" && name != "SIG_IGN" && name != "nullptr") {
+        index.signal_handlers.insert(name);
+      }
+    }
+  }
+}
+
+void finalize_index(SymbolIndex& index) {
+  index.hot_functions.clear();
+  for (const std::string& fn : index.hot_annotated) {
+    index.hot_functions.insert(fn);
+  }
+  for (const auto& [fn, callees] : index.hot_callees) {
+    if (index.hot_annotated.count(fn) == 0) continue;
+    for (const std::string& callee : callees) {
+      index.hot_functions.insert(callee);
+    }
+  }
+}
+
+}  // namespace elsimlint

@@ -1,0 +1,95 @@
+// Shared lexical helpers, function-definition extraction, and the per-file
+// rule-engine context. Internal to the linter library — the public surface
+// is elsim-lint/lint.h; tests exercise these paths through lint_file().
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "elsim-lint/lint.h"
+
+namespace elsimlint::detail {
+
+bool is_ident(char c);
+bool is_ident_start(char c);
+std::string trim(const std::string& text);
+
+/// True when code[pos, pos+word.size()) is `word` with identifier
+/// boundaries on both sides.
+bool word_at(const std::string& code, std::size_t pos, const std::string& word);
+
+std::size_t skip_space(const std::string& code, std::size_t pos);
+
+/// Reads the identifier starting at `pos`; empty if none.
+std::string read_ident(const std::string& code, std::size_t pos);
+
+/// With code[open] an opening bracket, returns the index of its matching
+/// closing bracket (or npos). Works for (), <>, {}.
+std::size_t match_forward(const std::string& code, std::size_t open, char open_c,
+                          char close_c);
+
+/// Index of the '}' closing the block that encloses `pos` (code.size()
+/// when `pos` is not inside a block).
+std::size_t enclosing_block_end(const std::string& code, std::size_t pos);
+
+/// 1-based line number of `pos` in `code` (code preserves newlines).
+class LineMap {
+ public:
+  explicit LineMap(const std::string& code);
+  std::size_t line_of(std::size_t pos) const;
+
+ private:
+  std::vector<std::size_t> starts_;
+};
+
+/// One function definition found lexically: `[Qual::]name(...) ... { body }`.
+struct FunctionDef {
+  std::string name;       ///< final component ("run")
+  std::string qualified;  ///< as written ("Engine::run"; == name when plain)
+  std::size_t name_pos = 0;
+  std::size_t body_begin = 0;  ///< index of the opening '{'
+  std::size_t body_end = 0;    ///< index of the matching '}'
+};
+
+/// All function definitions in `file`, in order of appearance.
+std::vector<FunctionDef> find_functions(const SourceFile& file);
+
+/// True when `fn` carries the `elsim-hot` comment annotation on its
+/// signature line or up to two lines above.
+bool has_hot_annotation(const SourceFile& file, const FunctionDef& fn,
+                        const LineMap& lines);
+
+/// Unqualified callees invoked as plain calls (`helper(...)`; member calls
+/// on other objects and ns-qualified calls are excluded) inside fn's body.
+std::set<std::string> plain_callees(const std::string& code, const FunctionDef& fn);
+
+/// True when `fn` is a hot region under `index`: annotated itself
+/// (qualified-name match) or one plain call away from an annotated
+/// function (bare-name match).
+bool is_hot(const SymbolIndex& index, const FunctionDef& fn);
+
+struct Context {
+  const SourceFile& file;
+  const SymbolIndex& index;
+  const LineMap& lines;
+  const std::vector<FunctionDef>& functions;
+  std::vector<Finding>& findings;
+};
+
+void add_finding(Context& ctx, std::size_t pos, const std::string& rule,
+                 std::string message);
+
+// Family "concurrency".
+void rule_mutable_static(Context& ctx);
+void rule_raw_memory_order(Context& ctx);
+void rule_lock_order(Context& ctx);
+void rule_signal_unsafe(Context& ctx);
+
+// Family "hot-path".
+void rule_hot_alloc(Context& ctx);
+void rule_hot_container_growth(Context& ctx);
+void rule_hot_virtual_loop(Context& ctx);
+
+}  // namespace elsimlint::detail

@@ -3,13 +3,14 @@
 #include <algorithm>
 #include <cctype>
 
+#include "elsim-lint/internal.h"
 #include "json/json.h"
 
 namespace elsimlint {
 
 namespace json = elastisim::json;
 
-namespace {
+namespace detail {
 
 bool is_ident(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -27,8 +28,6 @@ std::string trim(const std::string& text) {
   return text.substr(begin, end - begin);
 }
 
-/// True when code[pos, pos+word.size()) is `word` with identifier boundaries
-/// on both sides.
 bool word_at(const std::string& code, std::size_t pos, const std::string& word) {
   if (code.compare(pos, word.size(), word) != 0) return false;
   if (pos > 0 && is_ident(code[pos - 1])) return false;
@@ -41,7 +40,6 @@ std::size_t skip_space(const std::string& code, std::size_t pos) {
   return pos;
 }
 
-/// Reads the identifier starting at `pos`; empty if none.
 std::string read_ident(const std::string& code, std::size_t pos) {
   if (pos >= code.size() || !is_ident_start(code[pos])) return "";
   std::size_t end = pos;
@@ -49,8 +47,6 @@ std::string read_ident(const std::string& code, std::size_t pos) {
   return code.substr(pos, end - pos);
 }
 
-/// With code[open] an opening bracket, returns the index of its matching
-/// closing bracket (or npos). Works for (), <>, {}.
 std::size_t match_forward(const std::string& code, std::size_t open, char open_c,
                           char close_c) {
   int depth = 0;
@@ -61,28 +57,101 @@ std::size_t match_forward(const std::string& code, std::size_t open, char open_c
   return std::string::npos;
 }
 
-}  // namespace
+std::size_t enclosing_block_end(const std::string& code, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < code.size(); ++i) {
+    if (code[i] == '{') ++depth;
+    if (code[i] == '}' && --depth < 0) return i;
+  }
+  return code.size();
+}
+
+LineMap::LineMap(const std::string& code) {
+  starts_.push_back(0);
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '\n') starts_.push_back(i + 1);
+  }
+}
+
+std::size_t LineMap::line_of(std::size_t pos) const {
+  const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
+  return static_cast<std::size_t>(it - starts_.begin());
+}
+
+void add_finding(Context& ctx, std::size_t pos, const std::string& rule,
+                 std::string message) {
+  Finding finding;
+  finding.file = ctx.file.path;
+  finding.line = ctx.lines.line_of(pos);
+  finding.rule = rule;
+  finding.message = std::move(message);
+  if (finding.line >= 1 && finding.line <= ctx.file.lines.size()) {
+    finding.snippet = trim(ctx.file.lines[finding.line - 1]);
+  }
+  ctx.findings.push_back(std::move(finding));
+}
+
+}  // namespace detail
+
+using namespace detail;  // NOLINT: the rule engines live on these helpers
 
 const std::vector<RuleInfo>& rules() {
   static const std::vector<RuleInfo> kRules = {
-      {"unordered-iteration",
+      {"unordered-iteration", "determinism", "error",
        "iteration over a std::unordered_{map,set} (hash order is not deterministic "
        "across implementations; sort or use an ordered container before output)"},
-      {"raw-random",
+      {"raw-random", "determinism", "error",
        "entropy source outside util::Rng (rand, std::random_device, mt19937, "
        "time(nullptr), system_clock; breaks seeded reproducibility)"},
-      {"pointer-order",
+      {"pointer-order", "determinism", "error",
        "ordering or hashing by pointer value (allocation addresses differ between "
        "runs; key by a stable id instead)"},
-      {"float-equality",
+      {"float-equality", "determinism", "error",
        "== or != on floating-point values (round-off makes exact equality "
        "run-to-run fragile; compare with a tolerance or suppress if exactness is "
        "intended)"},
-      {"enum-switch",
+      {"enum-switch", "determinism", "error",
        "switch over a project enum missing enumerators and without a default "
        "(a newly added value would fall through silently)"},
+      {"mutable-static", "concurrency", "error",
+       "mutable static or namespace-scope state (sweep workers share library "
+       "code; make it const, thread_local, std::atomic, or suppress with a "
+       "rationale)"},
+      {"raw-memory-order", "concurrency", "error",
+       "explicit std::memory_order argument outside sim/cancellation.* and "
+       "core/sweep_runner.* (relaxed orderings are audited there only; use the "
+       "seq_cst default elsewhere)"},
+      {"lock-order", "concurrency", "error",
+       "nested lock_guard/unique_lock on distinct mutexes (a second site locking "
+       "in the opposite order deadlocks; take both with one std::scoped_lock)"},
+      {"signal-unsafe", "concurrency", "error",
+       "non-async-signal-safe call (allocation, stdio, std::string construction) "
+       "inside a function registered as a signal handler"},
+      {"hot-alloc", "hot-path", "error",
+       "heap allocation (new, make_unique/shared, container or string "
+       "construction, std::function, string concatenation) inside an elsim-hot "
+       "region"},
+      {"hot-container-growth", "hot-path", "error",
+       "push_back/emplace_back in an elsim-hot region without a visible reserve "
+       "on the same container in the same function"},
+      {"hot-virtual-loop", "hot-path", "error",
+       "virtual dispatch inside a loop in an elsim-hot region (an indirect "
+       "branch per iteration; hoist the call or devirtualize)"},
   };
   return kRules;
+}
+
+const RuleInfo* find_rule(const std::string& name) {
+  for (const RuleInfo& info : rules()) {
+    if (info.name == name) return &info;
+  }
+  return nullptr;
+}
+
+const std::string& rule_family(const std::string& rule) {
+  static const std::string kUnknown = "unknown";
+  const RuleInfo* info = find_rule(rule);
+  return info != nullptr ? info->family : kUnknown;
 }
 
 SourceFile preprocess(std::string path, const std::string& text) {
@@ -205,24 +274,6 @@ SourceFile preprocess(std::string path, const std::string& text) {
 }
 
 namespace {
-
-/// 1-based line number of `pos` in `code` (code preserves newlines).
-class LineMap {
- public:
-  explicit LineMap(const std::string& code) {
-    starts_.push_back(0);
-    for (std::size_t i = 0; i < code.size(); ++i) {
-      if (code[i] == '\n') starts_.push_back(i + 1);
-    }
-  }
-  std::size_t line_of(std::size_t pos) const {
-    const auto it = std::upper_bound(starts_.begin(), starts_.end(), pos);
-    return static_cast<std::size_t>(it - starts_.begin());
-  }
-
- private:
-  std::vector<std::size_t> starts_;
-};
 
 /// Walks backwards from `pos` (exclusive) over whitespace, then over one
 /// balanced ()-group if present, and returns the identifier that precedes —
@@ -413,29 +464,33 @@ void index_symbols(const SourceFile& file, SymbolIndex& index) {
       }
     }
   }
+
+  // Virtual member declarations: `virtual <type> name(...)`. Feeds
+  // hot-virtual-loop; destructors and operators are not dispatch hazards a
+  // loop body would name.
+  pos = 0;
+  while ((pos = code.find("virtual", pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += 7;
+    if (!word_at(code, at, "virtual")) continue;
+    std::size_t i = at + 7;
+    while (i < code.size() && code[i] != '(' && code[i] != ';' && code[i] != '{' &&
+           code[i] != '}') {
+      ++i;
+    }
+    if (i >= code.size() || code[i] != '(') continue;
+    std::size_t end = i;
+    while (end > at && std::isspace(static_cast<unsigned char>(code[end - 1]))) --end;
+    std::size_t begin = end;
+    while (begin > at && is_ident(code[begin - 1])) --begin;
+    if (begin == end) continue;
+    if (begin > 0 && code[begin - 1] == '~') continue;
+    const std::string name = code.substr(begin, end - begin);
+    if (name != "operator") index.virtual_functions.insert(name);
+  }
 }
 
 namespace {
-
-struct Context {
-  const SourceFile& file;
-  const SymbolIndex& index;
-  const LineMap& lines;
-  std::vector<Finding>& findings;
-};
-
-void add_finding(Context& ctx, std::size_t pos, const std::string& rule,
-                 std::string message) {
-  Finding finding;
-  finding.file = ctx.file.path;
-  finding.line = ctx.lines.line_of(pos);
-  finding.rule = rule;
-  finding.message = std::move(message);
-  if (finding.line >= 1 && finding.line <= ctx.file.lines.size()) {
-    finding.snippet = trim(ctx.file.lines[finding.line - 1]);
-  }
-  ctx.findings.push_back(std::move(finding));
-}
 
 void rule_unordered_iteration(Context& ctx) {
   const std::string& code = ctx.file.code;
@@ -729,7 +784,10 @@ std::vector<Finding> lint_file(const SourceFile& file, const SymbolIndex& index,
   // locals in one .cpp must not colour name lookups in another.
   SymbolIndex merged = index;
   index_symbols(file, merged);
-  Context ctx{file, merged, lines, findings};
+  index_functions(file, merged);
+  finalize_index(merged);
+  const std::vector<FunctionDef> functions = find_functions(file);
+  Context ctx{file, merged, lines, functions, findings};
 
   const auto want = [&enabled](const char* rule) {
     return enabled.empty() || enabled.count(rule) != 0;
@@ -739,6 +797,13 @@ std::vector<Finding> lint_file(const SourceFile& file, const SymbolIndex& index,
   if (want("pointer-order")) rule_pointer_order(ctx);
   if (want("float-equality")) rule_float_equality(ctx);
   if (want("enum-switch")) rule_enum_switch(ctx);
+  if (want("mutable-static")) rule_mutable_static(ctx);
+  if (want("raw-memory-order")) rule_raw_memory_order(ctx);
+  if (want("lock-order")) rule_lock_order(ctx);
+  if (want("signal-unsafe")) rule_signal_unsafe(ctx);
+  if (want("hot-alloc")) rule_hot_alloc(ctx);
+  if (want("hot-container-growth")) rule_hot_container_growth(ctx);
+  if (want("hot-virtual-loop")) rule_hot_virtual_loop(ctx);
 
   for (Finding& finding : findings) {
     finding.suppressed = is_suppressed(file, finding);
@@ -753,25 +818,68 @@ std::vector<Finding> lint_file(const SourceFile& file, const SymbolIndex& index,
 
 std::string findings_to_json(const std::vector<Finding>& findings,
                              std::size_t files_scanned) {
+  struct Tally {
+    std::size_t total = 0;
+    std::size_t suppressed = 0;
+    std::size_t baselined = 0;
+    std::size_t fresh = 0;
+  };
+  // Family order follows the catalog; every family is always present so
+  // per-family diffs against a baseline never chase missing keys.
+  std::vector<std::string> family_order;
+  std::map<std::string, Tally> tallies;
+  for (const RuleInfo& info : rules()) {
+    if (tallies.count(info.family) == 0) {
+      family_order.push_back(info.family);
+      tallies[info.family] = Tally{};
+    }
+  }
+
   json::Array items;
   std::size_t suppressed = 0;
+  std::size_t baselined = 0;
   for (const Finding& finding : findings) {
     json::Object item;
     item["file"] = finding.file;
     item["line"] = finding.line;
     item["rule"] = finding.rule;
+    item["family"] = rule_family(finding.rule);
     item["message"] = finding.message;
     item["snippet"] = finding.snippet;
     item["suppressed"] = finding.suppressed;
+    item["baselined"] = finding.baselined;
     items.push_back(json::Value(std::move(item)));
-    if (finding.suppressed) ++suppressed;
+    Tally& tally = tallies[rule_family(finding.rule)];
+    ++tally.total;
+    if (finding.suppressed) {
+      ++suppressed;
+      ++tally.suppressed;
+    } else if (finding.baselined) {
+      ++baselined;
+      ++tally.baselined;
+    } else {
+      ++tally.fresh;
+    }
+  }
+  json::Object families;
+  for (const std::string& family : family_order) {
+    const Tally& tally = tallies[family];
+    json::Object entry;
+    entry["findings"] = tally.total;
+    entry["suppressed"] = tally.suppressed;
+    entry["baselined"] = tally.baselined;
+    entry["new"] = tally.fresh;
+    families[family] = json::Value(std::move(entry));
   }
   json::Object out;
-  out["version"] = 1;
+  out["version"] = 2;
   out["files_scanned"] = files_scanned;
   out["finding_count"] = findings.size();
   out["suppressed_count"] = suppressed;
   out["unsuppressed_count"] = findings.size() - suppressed;
+  out["baselined_count"] = baselined;
+  out["new_count"] = findings.size() - suppressed - baselined;
+  out["families"] = json::Value(std::move(families));
   out["findings"] = json::Value(std::move(items));
   return json::dump_pretty(json::Value(std::move(out)));
 }

@@ -1,16 +1,27 @@
-// elsim-lint: project-specific determinism and robustness linter.
+// elsim-lint: project-specific determinism, concurrency, and hot-path
+// linter.
 //
-// ElastiSim promises byte-identical output across same-seed runs. The
-// hazards that silently break that promise are lexical enough to catch
-// without a full C++ front end: iterating an unordered container into an
-// output path, drawing entropy outside util::Rng, ordering by pointer
-// value, comparing floats with ==, and switches that silently ignore a
-// newly added enumerator. This library implements a two-pass scan:
+// ElastiSim promises byte-identical output across same-seed runs, and since
+// the sweep orchestrator landed the library also runs concurrently on a
+// worker pool. The hazards that silently break those promises are lexical
+// enough to catch without a full C++ front end. Rules are grouped into
+// three families:
 //
-//   pass 1  builds a cross-file symbol index (names declared as unordered
-//           containers, names typed double/float/SimTime, enum class
-//           definitions) over the header files,
-//   pass 2  re-scans each file and applies the rules against the header
+//   determinism  unordered iteration into output paths, raw entropy,
+//                pointer ordering, float ==, enum switches without default
+//   concurrency  mutable static/global state, raw memory_order arguments
+//                outside the audited kernels, nested locks on distinct
+//                mutexes, non-async-signal-safe calls in signal handlers
+//   hot-path     heap allocation, unreserved container growth, and
+//                virtual-dispatch-in-loop inside `// elsim-hot` regions
+//
+// The scan is two-pass:
+//
+//   pass 1  builds a cross-file symbol index over the headers (unordered
+//           containers, floating names, enums, virtual members) and over
+//           all files for function-level facts (elsim-hot annotations,
+//           plain callees, signal-handler registrations),
+//   pass 2  re-scans each file and applies the rules against the shared
 //           index merged with that file's own declarations — locals in one
 //           translation unit never colour name lookups in another.
 //
@@ -19,8 +30,10 @@
 //
 //   // elsim-lint: allow(<rule>[, <rule>...])   or   allow(all)
 //
-// on the offending line or the line above. See docs/ANALYSIS.md for the
-// rule catalog and the rationale behind each rule.
+// on the offending line or the line above, and a baseline file
+// (--baseline) accepts a recorded set of findings so new rules can land
+// before the tree is clean. See docs/ANALYSIS.md for the rule catalog and
+// the rationale behind each rule.
 #pragma once
 
 #include <cstddef>
@@ -33,11 +46,19 @@ namespace elsimlint {
 
 struct RuleInfo {
   std::string name;
+  std::string family;    // "determinism" | "concurrency" | "hot-path"
+  std::string severity;  // default severity; "error" findings fail the run
   std::string summary;
 };
 
 /// The rule catalog, in report order.
 const std::vector<RuleInfo>& rules();
+
+/// Catalog entry for `name`; nullptr when unknown.
+const RuleInfo* find_rule(const std::string& name);
+
+/// Family of `rule` ("unknown" when not in the catalog).
+const std::string& rule_family(const std::string& rule);
 
 struct Finding {
   std::string file;
@@ -46,6 +67,7 @@ struct Finding {
   std::string message;
   std::string snippet;  // the trimmed offending source line
   bool suppressed = false;
+  bool baselined = false;  // accepted by a --baseline file
 };
 
 /// Cross-file symbol index built by pass 1.
@@ -57,6 +79,19 @@ struct SymbolIndex {
   std::set<std::string> double_vars;
   /// enum class name -> enumerator names.
   std::map<std::string, std::set<std::string>> enums;
+  /// Member function names declared `virtual` (for hot-virtual-loop).
+  std::set<std::string> virtual_functions;
+  /// Functions carrying a `// elsim-hot` annotation, by qualified name
+  /// ("Engine::run"; plain functions by their bare name).
+  std::set<std::string> hot_annotated;
+  /// Plain (unqualified, non-member-dotted) callees of each annotated
+  /// function, keyed by qualified name. Feeds one-level hot propagation.
+  std::map<std::string, std::set<std::string>> hot_callees;
+  /// Function names registered as signal handlers (std::signal/sigaction).
+  std::set<std::string> signal_handlers;
+  /// Finalised hot set: annotated qualified names plus their plain callees
+  /// (bare names). Filled by finalize_index().
+  std::set<std::string> hot_functions;
 };
 
 /// One input file after lexical preprocessing.
@@ -67,15 +102,23 @@ struct SourceFile {
   /// The text with comments and string/char literals blanked to spaces
   /// (newlines preserved), so rules match code only.
   std::string code;
-  /// Per-line comment text, for suppression parsing.
+  /// Per-line comment text, for suppression and annotation parsing.
   std::vector<std::string> comments;
 };
 
 /// Lexes `text`: blanks comments, string/char/raw-string literals.
 SourceFile preprocess(std::string path, const std::string& text);
 
-/// Pass 1: accumulates declarations from `file` into `index`.
+/// Pass 1 (headers): accumulates declarations from `file` into `index`.
 void index_symbols(const SourceFile& file, SymbolIndex& index);
+
+/// Pass 1 (all files): accumulates function-level facts — elsim-hot
+/// annotations, their plain callees, signal-handler registrations.
+void index_functions(const SourceFile& file, SymbolIndex& index);
+
+/// Computes `index.hot_functions` from the annotations and callee map.
+/// Idempotent; call after the last index_functions().
+void finalize_index(SymbolIndex& index);
 
 /// Pass 2: applies `enabled` rules (empty = all) to `file`, against `index`
 /// merged with the file's own declarations.
@@ -85,5 +128,27 @@ std::vector<Finding> lint_file(const SourceFile& file, const SymbolIndex& index,
 /// Machine-readable report (schema documented in docs/ANALYSIS.md).
 std::string findings_to_json(const std::vector<Finding>& findings,
                              std::size_t files_scanned);
+
+/// A recorded set of accepted findings (--baseline). Keys are
+/// file|rule|snippet — line-number independent, so unrelated edits above a
+/// baselined finding do not invalidate it — counted as a multiset.
+struct Baseline {
+  std::map<std::string, std::size_t> accepted;
+};
+
+/// The baseline identity of `finding`.
+std::string baseline_key(const Finding& finding);
+
+/// Parses a baseline file; throws std::runtime_error on malformed input or
+/// an unrecognised schema tag.
+Baseline parse_baseline(const std::string& text);
+
+/// Serialises the unsuppressed findings as a baseline file
+/// (elsim-lint-baseline-v1).
+std::string baseline_to_json(const std::vector<Finding>& findings);
+
+/// Marks findings accepted by `baseline` (each recorded entry absorbs at
+/// most one finding); returns how many were marked.
+std::size_t apply_baseline(std::vector<Finding>& findings, const Baseline& baseline);
 
 }  // namespace elsimlint

@@ -1,15 +1,18 @@
 // elsim-lint command-line driver.
 //
 //   elsim-lint [--json <report.json>] [--rules <a,b,...>] [--list-rules]
-//              [--quiet] <file-or-dir>...
+//              [--baseline <file>] [--update-baseline] [--quiet]
+//              <file-or-dir>...
 //
 // Scans the given files (directories are walked recursively for C++
 // sources), prints findings as "file:line: [rule] message", and exits
-//   0  no unsuppressed findings,
-//   1  at least one unsuppressed finding,
-//   2  usage or I/O error.
+//   0  no new unsuppressed findings,
+//   1  at least one new unsuppressed finding,
+//   2  usage or I/O error (including a missing or malformed baseline).
 // --json additionally writes the machine-readable report (schema in
-// docs/ANALYSIS.md) whether or not findings exist.
+// docs/ANALYSIS.md) whether or not findings exist. --baseline accepts the
+// findings recorded in <file> (only findings outside it fail the run);
+// --update-baseline re-records <file> from the current scan and exits 0.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
@@ -40,13 +43,15 @@ std::string read_file(const std::filesystem::path& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // --quiet and --list-rules are presence-only; without the allowlist
-  // "--quiet src" would swallow "src" as the flag's value.
-  elastisim::util::Flags flags(argc, argv, {"quiet", "list-rules"});
+  // Presence-only flags need the allowlist; without it "--quiet src" would
+  // swallow "src" as the flag's value.
+  elastisim::util::Flags flags(argc, argv, {"quiet", "list-rules", "update-baseline"});
 
   if (flags.get("list-rules", false)) {
+    std::printf("%-22s %-12s %-8s %s\n", "rule", "family", "severity", "description");
     for (const elsimlint::RuleInfo& rule : elsimlint::rules()) {
-      std::printf("%-20s %s\n", rule.name.c_str(), rule.summary.c_str());
+      std::printf("%-22s %-12s %-8s %s\n", rule.name.c_str(), rule.family.c_str(),
+                  rule.severity.c_str(), rule.summary.c_str());
     }
     return 0;
   }
@@ -60,11 +65,7 @@ int main(int argc, char** argv) {
       if (comma == std::string::npos) comma = rule_list.size();
       const std::string name = rule_list.substr(start, comma - start);
       if (!name.empty()) {
-        const auto& catalog = elsimlint::rules();
-        const bool known =
-            std::any_of(catalog.begin(), catalog.end(),
-                        [&name](const elsimlint::RuleInfo& r) { return r.name == name; });
-        if (!known) {
+        if (elsimlint::find_rule(name) == nullptr) {
           std::fprintf(stderr, "error: unknown rule '%s' (--list-rules shows the catalog)\n",
                        name.c_str());
           return 2;
@@ -75,10 +76,21 @@ int main(int argc, char** argv) {
     }
   }
 
+  const std::string baseline_path = flags.get("baseline", std::string());
+  const bool have_baseline = !baseline_path.empty() && baseline_path != "true";
+  const bool update_baseline = flags.get("update-baseline", false);
+  if ((update_baseline && !have_baseline) ||
+      (!baseline_path.empty() && baseline_path == "true")) {
+    std::fprintf(stderr, "error: --baseline requires a file path%s\n",
+                 update_baseline ? " (required by --update-baseline)" : "");
+    return 2;
+  }
+
   if (flags.positional().empty()) {
     std::fprintf(stderr,
                  "usage: %s [--json <report.json>] [--rules <a,b,...>] [--list-rules]\n"
-                 "       [--quiet] <file-or-dir>...\n",
+                 "       [--baseline <file>] [--update-baseline] [--quiet]\n"
+                 "       <file-or-dir>...\n",
                  flags.program().c_str());
     return 2;
   }
@@ -113,7 +125,9 @@ int main(int argc, char** argv) {
     // Pass 1: lex everything once. Only headers feed the shared symbol
     // index — declarations local to one .cpp are merged back in by
     // lint_file for that file alone, so a `double end` in one translation
-    // unit cannot colour name lookups in another.
+    // unit cannot colour name lookups in another. Function-level facts
+    // (elsim-hot annotations, signal-handler registrations) come from all
+    // files: a handler is registered in one place and defined in another.
     std::vector<elsimlint::SourceFile> files;
     files.reserve(sources.size());
     elsimlint::SymbolIndex index;
@@ -121,7 +135,9 @@ int main(int argc, char** argv) {
       files.push_back(elsimlint::preprocess(path.generic_string(), read_file(path)));
       const std::string ext = path.extension().string();
       if (ext == ".h" || ext == ".hpp") elsimlint::index_symbols(files.back(), index);
+      elsimlint::index_functions(files.back(), index);
     }
+    elsimlint::finalize_index(index);
 
     // Pass 2: apply the rules.
     std::vector<elsimlint::Finding> findings;
@@ -131,11 +147,41 @@ int main(int argc, char** argv) {
                       std::make_move_iterator(batch.end()));
     }
 
+    // Baseline: re-record on --update-baseline, otherwise load and mark
+    // accepted findings so only new ones affect the exit code.
+    if (have_baseline) {
+      if (update_baseline) {
+        std::ofstream out(baseline_path);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n", baseline_path.c_str());
+          return 2;
+        }
+        out << elsimlint::baseline_to_json(findings) << "\n";
+      }
+      std::string text;
+      try {
+        text = read_file(baseline_path);
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+      }
+      elsimlint::apply_baseline(findings, elsimlint::parse_baseline(text));
+    }
+
     const bool quiet = flags.get("quiet", false);
-    std::size_t unsuppressed = 0;
+    std::size_t suppressed = 0;
+    std::size_t baselined = 0;
+    std::size_t fresh = 0;
     for (const elsimlint::Finding& finding : findings) {
-      if (finding.suppressed) continue;
-      ++unsuppressed;
+      if (finding.suppressed) {
+        ++suppressed;
+        continue;
+      }
+      if (finding.baselined) {
+        ++baselined;
+        continue;
+      }
+      ++fresh;
       if (!quiet) {
         std::printf("%s:%zu: [%s] %s\n    %s\n", finding.file.c_str(), finding.line,
                     finding.rule.c_str(), finding.message.c_str(), finding.snippet.c_str());
@@ -153,10 +199,10 @@ int main(int argc, char** argv) {
     }
 
     if (!quiet) {
-      std::printf("%zu files scanned, %zu findings (%zu suppressed)\n", files.size(),
-                  findings.size(), findings.size() - unsuppressed);
+      std::printf("%zu files scanned, %zu findings (%zu suppressed, %zu baselined, %zu new)\n",
+                  files.size(), findings.size(), suppressed, baselined, fresh);
     }
-    return unsuppressed == 0 ? 0 : 1;
+    return fresh == 0 ? 0 : 1;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 2;

@@ -1,0 +1,370 @@
+// Family "concurrency": mutable static/global state, raw memory_order
+// arguments outside the audited kernels, nested locks on distinct mutexes,
+// and non-async-signal-safe calls inside registered signal handlers. The
+// sweep orchestrator (core::SweepRunner) runs library code on a worker
+// pool, so shared mutable state and ad-hoc lock nesting are correctness
+// hazards, not style.
+#include <cctype>
+
+#include "elsim-lint/internal.h"
+
+namespace elsimlint::detail {
+
+namespace {
+
+/// Qualifier tokens that make a static/global declaration thread-safe (or
+/// at least deliberate): immutable, per-thread, atomic, or a
+/// synchronisation primitive itself.
+bool is_safe_qualifier(const std::string& word) {
+  static const std::set<std::string> kSafe = {
+      "const",         "constexpr",       "constinit",
+      "thread_local",  "atomic",          "atomic_flag",
+      "atomic_bool",   "atomic_int",      "mutex",
+      "shared_mutex",  "recursive_mutex", "timed_mutex",
+      "once_flag",     "condition_variable",
+  };
+  return kSafe.count(word) != 0;
+}
+
+/// Declaration-opener keywords that are never variable definitions.
+bool is_type_keyword(const std::string& word) {
+  static const std::set<std::string> kTypes = {
+      "struct", "class",    "enum",     "union",    "using",
+      "typedef", "extern",  "template", "friend",   "namespace",
+      "operator", "static_assert", "return", "case", "goto", "delete",
+  };
+  return kTypes.count(word) != 0;
+}
+
+struct DeclVerdict {
+  bool flag = false;
+  std::string name;
+  std::size_t name_pos = 0;
+};
+
+/// Token-walks one declaration starting at `begin` (just after `static`,
+/// or at the start of a namespace-scope statement) and decides whether it
+/// defines mutable state. Stops at the first top-level `;`, `=`, or `{`
+/// (flag: the last identifier seen is the variable name), or at `(`
+/// (function declaration/definition or direct-init — never flagged).
+DeclVerdict analyze_declaration(const std::string& code, std::size_t begin,
+                                std::size_t end_limit) {
+  int angle = 0;
+  int square = 0;
+  DeclVerdict verdict;
+  std::string last_ident;
+  std::size_t last_pos = 0;
+  std::size_t i = begin;
+  while (i < end_limit && i < code.size()) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '<') {
+      ++angle;
+      ++i;
+      continue;
+    }
+    if (c == '>') {
+      if (angle > 0) --angle;
+      ++i;
+      continue;
+    }
+    if (c == '[') {
+      ++square;
+      ++i;
+      continue;
+    }
+    if (c == ']') {
+      if (square > 0) --square;
+      ++i;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const std::string word = read_ident(code, i);
+      if (is_safe_qualifier(word)) return verdict;  // safe — never flagged
+      if (angle == 0 && square == 0) {
+        if (is_type_keyword(word)) return verdict;
+        last_ident = word;
+        last_pos = i;
+      }
+      i += word.size();
+      continue;
+    }
+    if (angle > 0 || square > 0) {
+      ++i;
+      continue;
+    }
+    if (c == ';' || c == '=' || c == '{') {
+      verdict.flag = !last_ident.empty();
+      verdict.name = last_ident;
+      verdict.name_pos = last_pos;
+      return verdict;
+    }
+    if (c == '(') return verdict;  // function or direct-init: skip
+    if (c == '#') return verdict;  // preprocessor debris: skip
+    ++i;  // *, &, ::, commas inside declarator lists, ...
+  }
+  // Ran off the range without a terminator: the caller's range ends where
+  // the statement does (`;`/`{` excluded), so treat it the same way.
+  verdict.flag = !last_ident.empty();
+  verdict.name = last_ident;
+  verdict.name_pos = last_pos;
+  return verdict;
+}
+
+}  // namespace
+
+void rule_mutable_static(Context& ctx) {
+  const std::string& code = ctx.file.code;
+  const std::string why =
+      "': sweep workers share library code; make it const, thread_local, "
+      "std::atomic, or suppress with a rationale";
+
+  // (a) `static` storage, any scope (function-local latches, class
+  // members, internal-linkage globals).
+  std::size_t pos = 0;
+  while ((pos = code.find("static", pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += 6;
+    if (!word_at(code, at, "static")) continue;
+    const DeclVerdict verdict = analyze_declaration(code, at + 6, code.size());
+    if (verdict.flag) {
+      add_finding(ctx, verdict.name_pos, "mutable-static",
+                  "mutable static '" + verdict.name + why);
+    }
+  }
+
+  // (b) namespace-scope definitions without `static`. A scope walk
+  // classifies each '{' so class bodies and function bodies are skipped;
+  // statements seen while every enclosing scope is a namespace are
+  // candidate global definitions.
+  enum class Kind { kNamespace, kClass, kOther };
+  std::vector<Kind> stack;
+  Kind pending = Kind::kOther;
+  bool pending_set = false;
+  std::size_t stmt_begin = 0;
+  const auto at_ns_scope = [&stack] {
+    for (const Kind kind : stack) {
+      if (kind != Kind::kNamespace) return false;
+    }
+    return true;
+  };
+  const auto analyze_statement = [&](std::size_t begin, std::size_t end) {
+    begin = skip_space(code, begin);
+    if (begin >= end) return;
+    // `static` declarations are already covered by (a).
+    for (std::size_t i = begin; i + 6 <= end; ++i) {
+      if (code[i] == 's' && word_at(code, i, "static")) return;
+    }
+    const DeclVerdict verdict = analyze_declaration(code, begin, end);
+    if (verdict.flag) {
+      add_finding(ctx, verdict.name_pos, "mutable-static",
+                  "mutable namespace-scope state '" + verdict.name + why);
+    }
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == '#' && skip_space(code, stmt_begin) == i) {
+      // Preprocessor directive: consume to end of line (with
+      // backslash-continuations); directives never end in ';'.
+      while (i < code.size() && code[i] != '\n') {
+        if (code[i] == '\\' && i + 1 < code.size() && code[i + 1] == '\n') ++i;
+        ++i;
+      }
+      stmt_begin = i + 1;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const std::string word = read_ident(code, i);
+      if (word == "namespace") {
+        pending = Kind::kNamespace;
+        pending_set = true;
+      } else if (word == "class" || word == "struct" || word == "union" ||
+                 word == "enum") {
+        pending = Kind::kClass;
+        pending_set = true;
+      }
+      i += word.size() - 1;
+      continue;
+    }
+    if (c == '{') {
+      if (at_ns_scope()) analyze_statement(stmt_begin, i);
+      stack.push_back(pending_set ? pending : Kind::kOther);
+      pending_set = false;
+      if (at_ns_scope()) stmt_begin = i + 1;
+      continue;
+    }
+    if (c == '}') {
+      if (!stack.empty()) stack.pop_back();
+      if (at_ns_scope()) stmt_begin = i + 1;
+      continue;
+    }
+    if (c == ';') {
+      if (at_ns_scope()) analyze_statement(stmt_begin, i);
+      stmt_begin = i + 1;
+      pending_set = false;
+      continue;
+    }
+  }
+}
+
+void rule_raw_memory_order(Context& ctx) {
+  // The lock-free kernels — cancellation tokens and the sweep worker pool —
+  // are the audited homes for relaxed orderings (docs/ANALYSIS.md).
+  const std::string& path = ctx.file.path;
+  if (path.find("sim/cancellation.") != std::string::npos ||
+      path.find("core/sweep_runner.") != std::string::npos) {
+    return;
+  }
+  const std::string& code = ctx.file.code;
+  static const std::vector<std::string> kOrders = {
+      "memory_order_relaxed", "memory_order_acquire", "memory_order_release",
+      "memory_order_acq_rel", "memory_order_consume",
+  };
+  const std::string why =
+      " outside the audited concurrency kernels (sim/cancellation.*, "
+      "core/sweep_runner.*); use the seq_cst default or move the code there";
+  for (const std::string& order : kOrders) {
+    std::size_t pos = 0;
+    while ((pos = code.find(order, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += order.size();
+      if (!word_at(code, at, order)) continue;
+      add_finding(ctx, at, "raw-memory-order", "explicit " + order + why);
+    }
+  }
+  // C++20 spelling: memory_order::relaxed.
+  std::size_t pos = 0;
+  while ((pos = code.find("memory_order", pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += 12;
+    if (!word_at(code, at, "memory_order")) continue;
+    std::size_t i = skip_space(code, at + 12);
+    if (code.compare(i, 2, "::") != 0) continue;
+    const std::string member = read_ident(code, skip_space(code, i + 2));
+    if (member == "relaxed" || member == "acquire" || member == "release" ||
+        member == "acq_rel" || member == "consume") {
+      add_finding(ctx, at, "raw-memory-order",
+                  "explicit memory_order::" + member + why);
+    }
+  }
+}
+
+void rule_lock_order(Context& ctx) {
+  const std::string& code = ctx.file.code;
+  struct GuardSite {
+    std::size_t pos = 0;
+    std::size_t block_end = 0;
+    std::string mutex_arg;
+    bool deferred = false;
+  };
+  std::vector<GuardSite> sites;
+  for (const std::string& guard : {std::string("lock_guard"), std::string("unique_lock")}) {
+    std::size_t pos = 0;
+    while ((pos = code.find(guard, pos)) != std::string::npos) {
+      const std::size_t at = pos;
+      pos += guard.size();
+      if (!word_at(code, at, guard)) continue;
+      std::size_t i = at + guard.size();
+      if (i < code.size() && code[i] == '<') {
+        const std::size_t close = match_forward(code, i, '<', '>');
+        if (close == std::string::npos) continue;
+        i = close + 1;
+      }
+      i = skip_space(code, i);
+      const std::string var = read_ident(code, i);  // guard variable name
+      i = skip_space(code, i + var.size());
+      if (i >= code.size() || (code[i] != '(' && code[i] != '{')) continue;
+      const char open_c = code[i];
+      const char close_c = open_c == '(' ? ')' : '}';
+      const std::size_t close = match_forward(code, i, open_c, close_c);
+      if (close == std::string::npos) continue;
+      GuardSite site;
+      site.pos = at;
+      site.block_end = enclosing_block_end(code, at);
+      // Normalise the mutex expression (strip whitespace) so `a. m` and
+      // `a.m` compare equal.
+      for (std::size_t k = i + 1; k < close; ++k) {
+        if (std::isspace(static_cast<unsigned char>(code[k])) == 0) {
+          site.mutex_arg.push_back(code[k]);
+        }
+      }
+      if (site.mutex_arg.empty()) continue;  // default-constructed unique_lock
+      site.deferred = site.mutex_arg.find("defer_lock") != std::string::npos ||
+                      site.mutex_arg.find("adopt_lock") != std::string::npos ||
+                      site.mutex_arg.find("try_to_lock") != std::string::npos;
+      sites.push_back(std::move(site));
+    }
+  }
+  for (std::size_t a = 0; a < sites.size(); ++a) {
+    for (std::size_t b = a + 1; b < sites.size(); ++b) {
+      if (sites[b].pos >= sites[a].block_end) continue;  // sequential scopes
+      if (sites[b].deferred || sites[a].deferred) continue;
+      if (sites[b].mutex_arg == sites[a].mutex_arg) continue;
+      add_finding(ctx, sites[b].pos, "lock-order",
+                  "nested lock of '" + sites[b].mutex_arg + "' while '" +
+                      sites[a].mutex_arg +
+                      "' is held; a second site locking in the opposite order "
+                      "deadlocks — take both with one std::scoped_lock");
+    }
+  }
+}
+
+void rule_signal_unsafe(Context& ctx) {
+  if (ctx.index.signal_handlers.empty()) return;
+  const std::string& code = ctx.file.code;
+  // Token → why it is unsafe in a handler. `string` catches std::string
+  // construction (string_view passes the word-boundary check and is fine);
+  // _exit/_Exit are safe and excluded by the same boundary rule.
+  static const std::vector<std::pair<std::string, std::string>> kBanned = {
+      {"new", "heap allocation"},
+      {"malloc", "heap allocation"},
+      {"calloc", "heap allocation"},
+      {"realloc", "heap allocation"},
+      {"free", "heap deallocation"},
+      {"make_unique", "heap allocation"},
+      {"make_shared", "heap allocation"},
+      {"string", "std::string construction allocates"},
+      {"to_string", "std::to_string allocates"},
+      {"vector", "container construction allocates"},
+      {"stringstream", "stream construction allocates"},
+      {"ostringstream", "stream construction allocates"},
+      {"printf", "stdio locks and may allocate"},
+      {"fprintf", "stdio locks and may allocate"},
+      {"snprintf", "stdio locks and may allocate"},
+      {"sprintf", "stdio locks and may allocate"},
+      {"puts", "stdio locks and may allocate"},
+      {"fputs", "stdio locks and may allocate"},
+      {"fopen", "stdio locks and may allocate"},
+      {"fclose", "stdio locks and may allocate"},
+      {"fflush", "stdio locks and may allocate"},
+      {"fwrite", "stdio locks and may allocate"},
+      {"cout", "iostreams lock and allocate"},
+      {"cerr", "iostreams lock and allocate"},
+      {"clog", "iostreams lock and allocate"},
+      {"throw", "unwinding through a signal frame is undefined"},
+      {"exit", "std::exit runs atexit handlers; use _exit or re-raise"},
+      {"fmt", "formatting allocates"},
+  };
+  for (const FunctionDef& fn : ctx.functions) {
+    if (ctx.index.signal_handlers.count(fn.name) == 0) continue;
+    for (const auto& [token, why] : kBanned) {
+      std::size_t pos = fn.body_begin;
+      while (pos < fn.body_end &&
+             (pos = code.find(token, pos)) != std::string::npos) {
+        const std::size_t at = pos;
+        pos += token.size();
+        if (at >= fn.body_end) break;
+        if (!word_at(code, at, token)) continue;
+        add_finding(ctx, at, "signal-unsafe",
+                    "'" + token + "' in signal handler '" + fn.name + "' (" + why +
+                        "); only async-signal-safe calls (write(2), atomics, "
+                        "sig_atomic_t stores) are defined here");
+      }
+    }
+  }
+}
+
+}  // namespace elsimlint::detail

@@ -1,0 +1,234 @@
+// Family "hot-path": allocation and dispatch hazards inside `// elsim-hot`
+// regions. The annotation marks the per-event and per-scheduling-pass code
+// the ROADMAP perf overhaul must keep allocation-free; hotness propagates
+// one plain-call level through the symbol index (functions.cpp), so a
+// helper factored out of a hot loop stays covered without re-annotation.
+#include <cctype>
+
+#include "elsim-lint/internal.h"
+
+namespace elsimlint::detail {
+
+namespace {
+
+/// Owning containers whose construction allocates (or may allocate on
+/// first growth) — flagged when declared inside a hot body.
+const std::vector<std::string>& owning_containers() {
+  static const std::vector<std::string> kContainers = {
+      "vector", "deque",         "list",          "map",
+      "set",    "unordered_map", "unordered_set", "multimap",
+      "multiset", "basic_string",
+  };
+  return kContainers;
+}
+
+/// The identifier chain tail before a `.member` / `->member` use at
+/// `member_pos` (e.g. `queue_view_` for `state.queue_view_.push_back`).
+std::string owner_before(const std::string& code, std::size_t member_pos,
+                         std::size_t lower_bound) {
+  std::size_t i = member_pos;
+  if (i >= 2 && code[i - 1] == '>' && code[i - 2] == '-') {
+    i -= 2;
+  } else if (i >= 1 && code[i - 1] == '.') {
+    i -= 1;
+  } else {
+    return "";
+  }
+  std::size_t end = i;
+  while (end > lower_bound && std::isspace(static_cast<unsigned char>(code[end - 1]))) {
+    --end;
+  }
+  std::size_t begin = end;
+  while (begin > lower_bound && is_ident(code[begin - 1])) --begin;
+  if (begin == end) return "";
+  return code.substr(begin, end - begin);
+}
+
+/// Calls `fn(pos)` for every position in [begin, end) where `token` occurs
+/// with word boundaries.
+template <typename Fn>
+void for_each_word(const std::string& code, std::size_t begin, std::size_t end,
+                   const std::string& token, Fn fn) {
+  std::size_t pos = begin;
+  while (pos < end && (pos = code.find(token, pos)) != std::string::npos) {
+    const std::size_t at = pos;
+    pos += token.size();
+    if (at >= end) break;
+    if (word_at(code, at, token)) fn(at);
+  }
+}
+
+}  // namespace
+
+void rule_hot_alloc(Context& ctx) {
+  const std::string& code = ctx.file.code;
+  std::set<std::size_t> seen;
+  const auto flag = [&](std::size_t pos, const std::string& what) {
+    if (!seen.insert(pos).second) return;
+    add_finding(ctx, pos, "hot-alloc",
+                what + " in elsim-hot region; allocate outside the hot path "
+                       "(member scratch buffer, reserve) or suppress with a rationale");
+  };
+  for (const FunctionDef& fn : ctx.functions) {
+    if (!is_hot(ctx.index, fn)) continue;
+    const std::size_t begin = fn.body_begin;
+    const std::size_t end = fn.body_end;
+
+    for_each_word(code, begin, end, "new",
+                  [&](std::size_t at) { flag(at, "'new' allocates"); });
+    for (const std::string& call : {std::string("make_unique"), std::string("make_shared"),
+                                    std::string("malloc"), std::string("calloc"),
+                                    std::string("realloc"), std::string("strdup"),
+                                    std::string("to_string")}) {
+      for_each_word(code, begin, end, call,
+                    [&](std::size_t at) { flag(at, "'" + call + "' allocates"); });
+    }
+
+    // std::function construction: type-erased callables allocate when the
+    // target outgrows the small-object buffer.
+    for_each_word(code, begin, end, "function", [&](std::size_t at) {
+      const std::size_t i = skip_space(code, at + 8);
+      if (i < code.size() && code[i] == '<') {
+        flag(at, "std::function construction may allocate");
+      }
+    });
+
+    // Local owning-container declarations / temporaries.
+    for (const std::string& container : owning_containers()) {
+      for_each_word(code, begin, end, container, [&](std::size_t at) {
+        std::size_t i = at + container.size();
+        if (i >= code.size() || code[i] != '<') return;
+        const std::size_t close = match_forward(code, i, '<', '>');
+        if (close == std::string::npos) return;
+        i = skip_space(code, close + 1);
+        if (i < code.size() &&
+            (is_ident_start(code[i]) || code[i] == '(' || code[i] == '{')) {
+          flag(at, "local '" + container + "' construction allocates");
+        }
+      });
+    }
+    // std::string declarations/temporaries (string_view fails the word
+    // boundary and is correctly exempt).
+    for_each_word(code, begin, end, "string", [&](std::size_t at) {
+      std::size_t i = at + 6;
+      if (i < code.size() && (code[i] == '(' || code[i] == '{')) {
+        flag(at, "std::string construction allocates");
+        return;
+      }
+      i = skip_space(code, i);
+      if (i > at + 6 && i < code.size() && is_ident_start(code[i]) &&
+          !word_at(code, i, "const")) {
+        flag(at, "local std::string construction allocates");
+      }
+    });
+    for (const std::string& stream : {std::string("ostringstream"), std::string("stringstream")}) {
+      for_each_word(code, begin, end, stream, [&](std::size_t at) {
+        flag(at, "'" + stream + "' construction allocates");
+      });
+    }
+
+    // String concatenation: `+` with a string literal operand.
+    for (std::size_t i = begin; i < end && i < code.size(); ++i) {
+      if (code[i] != '+') continue;
+      if (i + 1 < code.size() && (code[i + 1] == '+' || code[i + 1] == '=')) {
+        ++i;
+        continue;
+      }
+      if (i > 0 && code[i - 1] == '+') continue;
+      std::size_t left = i;
+      while (left > begin && std::isspace(static_cast<unsigned char>(code[left - 1]))) {
+        --left;
+      }
+      const std::size_t right = skip_space(code, i + 1);
+      if ((left > begin && code[left - 1] == '"') ||
+          (right < code.size() && code[right] == '"')) {
+        flag(i, "string concatenation allocates");
+      }
+    }
+  }
+}
+
+void rule_hot_container_growth(Context& ctx) {
+  const std::string& code = ctx.file.code;
+  for (const FunctionDef& fn : ctx.functions) {
+    if (!is_hot(ctx.index, fn)) continue;
+    // Containers with a visible `owner.reserve(...)` in this body.
+    std::set<std::string> reserved;
+    for_each_word(code, fn.body_begin, fn.body_end, "reserve", [&](std::size_t at) {
+      const std::string owner = owner_before(code, at, fn.body_begin);
+      if (!owner.empty()) reserved.insert(owner);
+    });
+    for (const std::string& grow : {std::string("push_back"), std::string("emplace_back")}) {
+      for_each_word(code, fn.body_begin, fn.body_end, grow, [&](std::size_t at) {
+        const std::size_t paren = skip_space(code, at + grow.size());
+        if (paren >= code.size() || code[paren] != '(') return;
+        const std::string owner = owner_before(code, at, fn.body_begin);
+        if (!owner.empty() && reserved.count(owner) != 0) return;
+        add_finding(ctx, at, "hot-container-growth",
+                    "'" + (owner.empty() ? grow : owner + "." + grow) +
+                        "' in elsim-hot region without a visible reserve on the "
+                        "same container in this function; reserve outside the "
+                        "hot loop or suppress with a rationale");
+      });
+    }
+  }
+}
+
+void rule_hot_virtual_loop(Context& ctx) {
+  const std::string& code = ctx.file.code;
+  if (ctx.index.virtual_functions.empty()) return;
+  std::set<std::size_t> seen;
+
+  // Scans one loop body [begin, end) for `.name(` / `->name(` where `name`
+  // is a known virtual member.
+  const auto scan_loop_body = [&](std::size_t begin, std::size_t end,
+                                  const FunctionDef& fn) {
+    for (std::size_t i = begin; i < end && i < code.size(); ++i) {
+      const bool arrow = code[i] == '-' && i + 1 < code.size() && code[i + 1] == '>';
+      const bool dot = code[i] == '.';
+      if (!arrow && !dot) continue;
+      const std::size_t name_pos = skip_space(code, i + (arrow ? 2 : 1));
+      const std::string name = read_ident(code, name_pos);
+      if (name.empty() || ctx.index.virtual_functions.count(name) == 0) continue;
+      const std::size_t paren = skip_space(code, name_pos + name.size());
+      if (paren >= code.size() || code[paren] != '(') continue;
+      if (!seen.insert(name_pos).second) continue;
+      add_finding(ctx, name_pos, "hot-virtual-loop",
+                  "virtual dispatch '" + name + "' inside a loop in elsim-hot "
+                  "region '" + fn.qualified +
+                  "' pays an indirect branch per iteration; hoist the call or "
+                  "devirtualize, or suppress with a rationale");
+    }
+  };
+
+  for (const FunctionDef& fn : ctx.functions) {
+    if (!is_hot(ctx.index, fn)) continue;
+    // for (...) body / while (...) body — body is the following {...} block
+    // or the single statement up to ';'.
+    for (const std::string& keyword : {std::string("for"), std::string("while")}) {
+      for_each_word(code, fn.body_begin, fn.body_end, keyword, [&](std::size_t at) {
+        const std::size_t open = skip_space(code, at + keyword.size());
+        if (open >= code.size() || code[open] != '(') return;
+        const std::size_t close = match_forward(code, open, '(', ')');
+        if (close == std::string::npos) return;
+        std::size_t body = skip_space(code, close + 1);
+        if (body < code.size() && code[body] == '{') {
+          const std::size_t body_end = match_forward(code, body, '{', '}');
+          if (body_end != std::string::npos) scan_loop_body(body + 1, body_end, fn);
+        } else {
+          const std::size_t semi = code.find(';', body);
+          if (semi != std::string::npos) scan_loop_body(body, semi, fn);
+        }
+      });
+    }
+    // do { ... } while (...);
+    for_each_word(code, fn.body_begin, fn.body_end, "do", [&](std::size_t at) {
+      const std::size_t body = skip_space(code, at + 2);
+      if (body >= code.size() || code[body] != '{') return;
+      const std::size_t body_end = match_forward(code, body, '{', '}');
+      if (body_end != std::string::npos) scan_loop_body(body + 1, body_end, fn);
+    });
+  }
+}
+
+}  // namespace elsimlint::detail
